@@ -1,0 +1,68 @@
+// Command wiclean-server is the backend of the WiClean browser plug-in: it
+// mines patterns at startup, then serves the plugin API (see
+// internal/plugin) — mined patterns, signaled errors, periodic windows,
+// and live-edit suggestions.
+//
+//	wiclean-server -domain soccer -seeds 300 -addr :8754
+//
+// Endpoints:
+//
+//	GET  /healthz    liveness + pattern count
+//	GET  /patterns   mined patterns with windows, frequencies and DOT graphs
+//	GET  /errors     signaled partial edits with suggestions
+//	GET  /periodic   patterns recurring with a regular period
+//	POST /suggest    advice for a live edit:
+//	                 {"subject": "...", "op": "+", "label": "...",
+//	                  "object": "...", "at": 123456}
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"wiclean/internal/core"
+	"wiclean/internal/mining"
+	"wiclean/internal/plugin"
+	"wiclean/internal/synth"
+	"wiclean/internal/windows"
+)
+
+func main() {
+	addr := flag.String("addr", ":8754", "listen address")
+	domain := flag.String("domain", "soccer", "synthetic domain to serve")
+	seeds := flag.Int("seeds", 300, "seed entity count")
+	seed := flag.Uint64("seed", 1, "generator random seed")
+	levels := flag.Int("abstraction", 1, "type-hierarchy levels to mine at")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all cores)")
+	flag.Parse()
+
+	d, err := synth.DomainByName(*domain)
+	if err != nil {
+		log.Fatalf("wiclean-server: %v", err)
+	}
+	p := synth.DefaultParams(d, *seeds)
+	p.Seed = *seed
+	w, err := synth.Generate(p)
+	if err != nil {
+		log.Fatalf("wiclean-server: %v", err)
+	}
+	cfg := windows.Defaults()
+	cfg.Mining = mining.PM(cfg.InitialTau)
+	cfg.Mining.MaxAbstraction = *levels
+	cfg.Workers = *workers
+	sys := core.New(w.History, cfg)
+
+	start := time.Now()
+	if _, err := sys.Mine(w.Seeds, d.SeedType, w.Span); err != nil {
+		log.Fatalf("wiclean-server: mining: %v", err)
+	}
+	srv, err := plugin.NewServer(sys, *workers)
+	if err != nil {
+		log.Fatalf("wiclean-server: %v", err)
+	}
+	log.Printf("wiclean-server: %d patterns mined over %s in %v; listening on %s",
+		len(sys.Outcome().Discovered), *domain, time.Since(start).Round(time.Millisecond), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

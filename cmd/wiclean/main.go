@@ -1,0 +1,418 @@
+// Command wiclean is the WiClean command-line interface: generate synthetic
+// revision worlds, mine edit patterns and their windows, detect partial
+// (likely erroneous) edits, and query the edit assistant.
+//
+//	wiclean gen     -domain soccer -seeds 500 -out data/
+//	wiclean mine    -data data/            # or: -domain soccer -seeds 500
+//	wiclean detect  -data data/
+//	wiclean suggest -data data/ -subject "FootballPlayer 0001" -op + \
+//	                -label current_club -object "Club 0004" -at 2500000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wiclean/internal/action"
+	"wiclean/internal/core"
+	"wiclean/internal/dump"
+	"wiclean/internal/mining"
+	"wiclean/internal/synth"
+	"wiclean/internal/taxonomy"
+	"wiclean/internal/windows"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "mine":
+		err = cmdMine(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "suggest":
+		err = cmdSuggest(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "log":
+		err = cmdLog(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wiclean:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: wiclean <gen|mine|detect|suggest|query|log> [flags]
+
+  gen      generate a synthetic revision world and write it to a directory
+  mine     mine edit patterns and their time windows (Algorithm 2)
+  detect   mine, then flag partial edits with correction suggestions (Algorithm 3)
+  suggest  ask the edit assistant about one live edit
+  query    run SQL over the revision log (tables: actions, reduced)
+  log      print the merged revision timeline of entities (Figure 1 layout)
+
+run 'wiclean <subcommand> -h' for flags`)
+}
+
+// worldFlags are the shared input-selection flags.
+type worldFlags struct {
+	data    string
+	domain  string
+	seeds   int
+	seed    uint64
+	workers int
+	levels  int
+}
+
+func (wf *worldFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&wf.data, "data", "", "directory written by 'wiclean gen' (overrides -domain)")
+	fs.StringVar(&wf.domain, "domain", "soccer", "synthetic domain: soccer, cinematography, us-politicians")
+	fs.IntVar(&wf.seeds, "seeds", 300, "seed entity count for synthetic generation")
+	fs.Uint64Var(&wf.seed, "seed", 1, "generator random seed")
+	fs.IntVar(&wf.workers, "workers", 0, "parallel workers (0 = all cores)")
+	fs.IntVar(&wf.levels, "abstraction", 1, "type-hierarchy levels above base types to mine at")
+}
+
+// loadedWorld is a store plus the seed set to mine.
+type loadedWorld struct {
+	store    *dump.History
+	reg      *taxonomy.Registry
+	seeds    []taxonomy.EntityID
+	seedType taxonomy.Type
+	span     action.Window
+}
+
+func (wf *worldFlags) load() (*loadedWorld, error) {
+	if wf.data != "" {
+		return loadDir(wf.data)
+	}
+	d, err := synth.DomainByName(wf.domain)
+	if err != nil {
+		return nil, err
+	}
+	p := synth.DefaultParams(d, wf.seeds)
+	p.Seed = wf.seed
+	w, err := synth.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	return &loadedWorld{
+		store:    w.History,
+		reg:      w.Reg,
+		seeds:    w.Seeds,
+		seedType: d.SeedType,
+		span:     w.Span,
+	}, nil
+}
+
+func loadDir(dir string) (*loadedWorld, error) {
+	uf, err := os.Open(filepath.Join(dir, "universe.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	defer uf.Close()
+	reg, err := dump.ReadUniverse(uf)
+	if err != nil {
+		return nil, err
+	}
+	af, err := os.Open(filepath.Join(dir, "actions.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	defer af.Close()
+	recs, err := dump.ReadActions(af)
+	if err != nil {
+		return nil, err
+	}
+	h := dump.NewHistory(reg)
+	if skipped := h.IngestRecords(recs); skipped > 0 {
+		fmt.Fprintf(os.Stderr, "wiclean: skipped %d action records referencing unknown entities\n", skipped)
+	}
+	sf, err := os.Open(filepath.Join(dir, "seeds.txt"))
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	lw := &loadedWorld{store: h, reg: reg, span: h.Span()}
+	sc := bufio.NewScanner(sf)
+	for sc.Scan() {
+		name := strings.TrimSpace(sc.Text())
+		if name == "" {
+			continue
+		}
+		id, ok := reg.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("seeds.txt references unknown entity %q", name)
+		}
+		lw.seeds = append(lw.seeds, id)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(lw.seeds) == 0 {
+		return nil, fmt.Errorf("seeds.txt holds no seed entities")
+	}
+	lw.seedType = reg.TypeOf(lw.seeds[0])
+	return lw, nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var wf worldFlags
+	wf.register(fs)
+	out := fs.String("out", "wiclean-data", "output directory")
+	withRevisions := fs.Bool("revisions", true, "also write raw wikitext revisions (revisions.jsonl)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := synth.DomainByName(wf.domain)
+	if err != nil {
+		return err
+	}
+	p := synth.DefaultParams(d, wf.seeds)
+	p.Seed = wf.seed
+	w, err := synth.Generate(p)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(*out, "universe.jsonl"), func(f *os.File) error {
+		return dump.WriteUniverse(f, w.Reg)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(*out, "actions.jsonl"), func(f *os.File) error {
+		return dump.WriteActions(f, w.History.Records())
+	}); err != nil {
+		return err
+	}
+	if *withRevisions {
+		if err := writeFile(filepath.Join(*out, "revisions.jsonl"), func(f *os.File) error {
+			return dump.WriteRevisions(f, w.RevisionDump())
+		}); err != nil {
+			return err
+		}
+	}
+	if err := writeFile(filepath.Join(*out, "seeds.txt"), func(f *os.File) error {
+		bw := bufio.NewWriter(f)
+		for _, id := range w.Seeds {
+			fmt.Fprintln(bw, w.Reg.Name(id))
+		}
+		return bw.Flush()
+	}); err != nil {
+		return err
+	}
+	st := w.TruthStats()
+	fmt.Printf("generated %s world: %d entities, %d actions, %d scenario instances\n",
+		wf.domain, w.Reg.Len(), w.History.ActionCount(), st.Instances)
+	fmt.Printf("injected %d partial edits (%d real errors, %d corrected next year) into %s\n",
+		st.Errors, st.Real, st.Corrected, *out)
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func makeSystem(wf *worldFlags) (*core.System, *loadedWorld, error) {
+	lw, err := wf.load()
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := windows.Defaults()
+	cfg.Mining = mining.PM(cfg.InitialTau)
+	cfg.Mining.MaxAbstraction = wf.levels
+	cfg.Workers = wf.workers
+	return core.New(lw.store, cfg), lw, nil
+}
+
+func cmdMine(args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+	var wf worldFlags
+	wf.register(fs)
+	save := fs.String("save", "", "write the mined model (patterns + windows) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, lw, err := makeSystem(&wf)
+	if err != nil {
+		return err
+	}
+	o, err := sys.Mine(lw.seeds, lw.seedType, lw.span)
+	if err != nil {
+		return err
+	}
+	if *save != "" {
+		if err := writeFile(*save, func(f *os.File) error {
+			return windows.WriteModel(f, o.Model())
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "model saved to %s\n", *save)
+	}
+	fmt.Printf("mined %d patterns in %v (%d refinement steps, final width %dd, tau %.2f)\n\n",
+		len(o.Discovered), o.Elapsed.Round(1e6), o.RefinementSteps, o.Width/action.Day, o.Tau)
+	for _, d := range o.Discovered {
+		fmt.Println(" ", d)
+	}
+	rel := 0
+	for _, wr := range o.Windows {
+		for _, rps := range wr.Relative {
+			for _, rp := range rps {
+				rel++
+				fmt.Println("  relative:", rp)
+			}
+		}
+	}
+	if rel == 0 {
+		fmt.Println("  (no relative patterns at the final setting)")
+	}
+	// Value-specific instantiations (the §7 extension): variables
+	// dominated by one entity across the final windows.
+	shown := map[string]bool{}
+	for _, wr := range o.Windows {
+		for _, cp := range mining.SpecializeConstants(wr.Result, lw.reg, 0.8) {
+			key := cp.Base.Canonical() + lw.reg.Name(cp.Entity)
+			if shown[key] {
+				continue
+			}
+			shown[key] = true
+			fmt.Println("  value-specific:", cp.Format(lw.reg))
+		}
+	}
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	var wf worldFlags
+	wf.register(fs)
+	limit := fs.Int("limit", 10, "max partial edits to print per pattern")
+	model := fs.String("model", "", "reuse a model saved by 'wiclean mine -save' instead of mining")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, lw, err := makeSystem(&wf)
+	if err != nil {
+		return err
+	}
+	if *model != "" {
+		mf, err := os.Open(*model)
+		if err != nil {
+			return err
+		}
+		m, err := windows.ReadModel(mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
+		sys.UseModel(m)
+	} else if _, err := sys.Mine(lw.seeds, lw.seedType, lw.span); err != nil {
+		return err
+	}
+	reports, err := sys.DetectErrors(wf.workers)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, rep := range reports {
+		if rep == nil || len(rep.Partials) == 0 {
+			continue
+		}
+		total += len(rep.Partials)
+		fmt.Printf("pattern %s\n  window %v: %d complete, %d partial\n",
+			rep.Pattern, rep.Window, rep.FullCount, len(rep.Partials))
+		for i, pe := range rep.Partials {
+			if i >= *limit {
+				fmt.Printf("  ... (%d more)\n", len(rep.Partials)-*limit)
+				break
+			}
+			fmt.Printf("  partial on %s, suggestions:\n", lw.reg.Name(pe.Subject()))
+			for _, s := range pe.Suggestions {
+				fmt.Printf("    %s\n", s.Format(lw.reg))
+			}
+		}
+	}
+	fmt.Printf("\n%d potential errors signaled in total\n", total)
+	return nil
+}
+
+func cmdSuggest(args []string) error {
+	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
+	var wf worldFlags
+	wf.register(fs)
+	subject := fs.String("subject", "", "entity performing the edit")
+	opFlag := fs.String("op", "+", "edit operation: + or -")
+	label := fs.String("label", "", "relation label being edited")
+	object := fs.String("object", "", "link target entity")
+	at := fs.Int64("at", 0, "edit timestamp (seconds into the revision span)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *subject == "" || *label == "" || *object == "" {
+		return fmt.Errorf("suggest requires -subject, -label and -object")
+	}
+	sys, lw, err := makeSystem(&wf)
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Mine(lw.seeds, lw.seedType, lw.span); err != nil {
+		return err
+	}
+	as, err := sys.Assistant()
+	if err != nil {
+		return err
+	}
+	src, ok := lw.reg.Lookup(*subject)
+	if !ok {
+		return fmt.Errorf("unknown subject %q", *subject)
+	}
+	dst, ok := lw.reg.Lookup(*object)
+	if !ok {
+		return fmt.Errorf("unknown object %q", *object)
+	}
+	op := action.Add
+	if *opFlag == "-" {
+		op = action.Remove
+	}
+	edit := action.Action{
+		Op:   op,
+		Edge: action.Edge{Src: src, Label: action.Label(*label), Dst: dst},
+		T:    action.Time(*at),
+	}
+	advices := as.Suggest(edit, edit.T)
+	if len(advices) == 0 {
+		fmt.Println("no known pattern matches this edit")
+		return nil
+	}
+	for _, adv := range advices {
+		fmt.Print(adv.Format(lw.reg))
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Cinematography domain walkthrough: run WiClean over a synthetic year of
+// actor/film/award revision history (the §6.3 cinema evaluation), score
+// the discovered patterns against the expert catalog, and validate the
+// signaled errors against the simulated next-year log.
+//
+//	go run ./examples/cinematography
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wiclean"
+)
+
+func main() {
+	domain := wiclean.Cinematography()
+	world, err := wiclean.GenerateWorld(domain, 250, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated cinema world: %d entities, %d actions\n",
+		world.Reg.Len(), world.History.ActionCount())
+	fmt.Println("\nexpert catalog (ground truth patterns):")
+	for _, c := range world.CatalogPatterns() {
+		tag := ""
+		if c.WindowLess {
+			tag = "  (window-less: expected to be missed)"
+		}
+		fmt.Printf("  %-18s %s%s\n", c.Name, c.Pattern, tag)
+	}
+
+	sys := wiclean.NewSystem(world.History, wiclean.DefaultConfig())
+	outcome, err := sys.Mine(world.Seeds, domain.SeedType, world.Span)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWiClean discovered %d patterns:\n", len(outcome.Discovered))
+	for _, d := range outcome.Discovered {
+		fmt.Printf("  freq %.2f @ %3dd: %s\n", d.Frequency, d.Width/wiclean.Day, d.Pattern)
+	}
+
+	// Which catalog entries did it recover?
+	found := map[string]bool{}
+	for _, c := range world.CatalogPatterns() {
+		for _, d := range outcome.Discovered {
+			if d.Pattern.Equal(c.Pattern) {
+				found[c.Name] = true
+			}
+		}
+	}
+	fmt.Println("\nrecall against the expert catalog:")
+	for _, c := range world.CatalogPatterns() {
+		mark := "MISSED"
+		if found[c.Name] {
+			mark = "found"
+		}
+		fmt.Printf("  %-18s %s\n", c.Name, mark)
+	}
+
+	// Detect errors and show the Oscar-style alerts.
+	reports, err := sys.DetectErrors(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shown := 0
+	fmt.Println("\nsample alerts (award pages and winners out of sync, casts missing actors, ...):")
+	for _, rep := range reports {
+		for _, pe := range rep.Partials {
+			if pe.Subject() == -1 || shown >= 6 {
+				continue
+			}
+			shown++
+			fmt.Printf("  %s:\n", world.Reg.Name(pe.Subject()))
+			for _, s := range pe.Suggestions {
+				fmt.Printf("    suggest %s\n", s.Format(world.Reg))
+			}
+		}
+	}
+}

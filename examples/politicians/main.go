@@ -1,0 +1,79 @@
+// US-politicians walkthrough: the §6.3 politics evaluation — senator
+// elections, committee assignments and party switches — highlighting the
+// paper's asymmetric election pattern: the state drops its link to the
+// previous senator while the previous senator keeps pointing to the state.
+//
+//	go run ./examples/politicians
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wiclean"
+)
+
+func main() {
+	domain := wiclean.USPoliticians()
+	world, err := wiclean.GenerateWorld(domain, 200, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := wiclean.NewSystem(world.History, wiclean.DefaultConfig())
+	outcome, err := sys.Mine(world.Seeds, "Senator", world.Span)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("discovered %d patterns over %d refinement steps\n\n",
+		len(outcome.Discovered), outcome.RefinementSteps)
+	for _, d := range outcome.Discovered {
+		fmt.Printf("  freq %.2f @ %3dd: %s\n", d.Frequency, d.Width/wiclean.Day, d.Pattern)
+	}
+
+	// The election pattern: new senator ↔ state, predecessor dropped by
+	// the state only (their own page legitimately keeps the state link).
+	var election *wiclean.DiscoveredPattern
+	for i := range outcome.Discovered {
+		d := &outcome.Discovered[i]
+		hasRepresents, hasDrop := false, false
+		for _, a := range d.Pattern.Actions {
+			if a.Label == "represents" && a.Op == wiclean.Add {
+				hasRepresents = true
+			}
+			if a.Label == "senator" && a.Op == wiclean.Remove {
+				hasDrop = true
+			}
+		}
+		if hasRepresents && hasDrop {
+			election = d
+			break
+		}
+	}
+	if election == nil {
+		log.Fatal("election pattern not discovered")
+	}
+	fmt.Printf("\nelection pattern (freq %.2f): %s\n", election.Frequency, election.Pattern)
+
+	// Detect incomplete elections across the year at the mined width.
+	det := wiclean.NewDetector(world.History)
+	total, partial := 0, 0
+	for _, win := range world.Span.Split(election.Width) {
+		rep, err := det.FindPartials(election.Pattern, win)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += rep.FullCount
+		partial += len(rep.Partials)
+		for i, pe := range rep.Partials {
+			if i >= 4 {
+				break
+			}
+			fmt.Printf("  incomplete election around %s:\n", world.Reg.Name(pe.Subject()))
+			for _, s := range pe.Suggestions {
+				fmt.Printf("    suggest %s\n", s.Format(world.Reg))
+			}
+		}
+	}
+	fmt.Printf("\n%d complete elections, %d signaled as partial\n", total, partial)
+}

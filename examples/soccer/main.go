@@ -1,0 +1,117 @@
+// Soccer transfer-window walkthrough: reconstructs the paper's running
+// example (Example 1.1 / Figures 1 and 3) on hand-written revision data —
+// Neymar's move from Barcelona to PSG, the reverted rumors, and the partial
+// edits of other players — then mines the transfer pattern and detects the
+// incomplete transfers.
+//
+//	go run ./examples/soccer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wiclean"
+)
+
+func main() {
+	// The taxonomy of Example 1.1 (SoccerPlayer ≤ Athlete ≤ Person).
+	tax := wiclean.NewTaxonomy()
+	tax.AddChain("Agent", "Person", "Athlete", "FootballPlayer", "Goalkeeper")
+	tax.AddChain("Agent", "Organisation", "SportsTeam", "FootballClub")
+	tax.AddChain("Agent", "Organisation", "SportsLeague")
+	reg := wiclean.NewRegistry(tax)
+
+	neymar := reg.MustAdd("Neymar", "FootballPlayer")
+	buffon := reg.MustAdd("Gianluigi Buffon", "Goalkeeper")
+	mbappe := reg.MustAdd("Kylian Mbappe", "FootballPlayer")
+	coutinho := reg.MustAdd("Philippe Coutinho", "FootballPlayer")
+	rakitic := reg.MustAdd("Ivan Rakitic", "FootballPlayer")
+	barca := reg.MustAdd("Barcelona F.C.", "FootballClub")
+	psg := reg.MustAdd("PSG F.C.", "FootballClub")
+	juve := reg.MustAdd("Juventus F.C.", "FootballClub")
+	monaco := reg.MustAdd("Monaco F.C.", "FootballClub")
+	liverpool := reg.MustAdd("Liverpool F.C.", "FootballClub")
+	sevilla := reg.MustAdd("Sevilla F.C.", "FootballClub")
+	ajax := reg.MustAdd("Ajax", "FootballClub")
+	bayern := reg.MustAdd("Bayern Munich", "FootballClub")
+	celta := reg.MustAdd("Celta Vigo", "FootballClub")
+	porto := reg.MustAdd("FC Porto", "FootballClub")
+	laliga := reg.MustAdd("La Liga", "SportsLeague")
+	ligue1 := reg.MustAdd("Ligue 1", "SportsLeague")
+
+	h := wiclean.NewHistory(reg)
+	A, R := wiclean.Add, wiclean.Remove
+	cc, sq, il := wiclean.Label("current_club"), wiclean.Label("squad"), wiclean.Label("in_league")
+	edit := func(op wiclean.Op, s wiclean.EntityID, l wiclean.Label, d wiclean.EntityID, t wiclean.Time) {
+		h.AddActions(wiclean.Action{Op: op, Edge: wiclean.Edge{Src: s, Label: l, Dst: d}, T: t})
+	}
+
+	// The transfer window opens at t=1000. Neymar's full move, including
+	// the rumor that was posted and reverted (rows the reduction erases).
+	edit(A, neymar, cc, juve, 1100) // rumor...
+	edit(R, neymar, cc, juve, 1150) // ...reverted
+	edit(R, neymar, cc, barca, 1200)
+	edit(A, neymar, cc, psg, 1210)
+	edit(A, psg, sq, neymar, 1230)
+	edit(R, barca, sq, neymar, 1260)
+	edit(R, neymar, il, laliga, 1300)
+	edit(A, neymar, il, ligue1, 1310)
+
+	// Buffon (a Goalkeeper — one level below FootballPlayer in the
+	// hierarchy) moves Juventus → Ajax, completely.
+	edit(R, buffon, cc, juve, 1400)
+	edit(A, buffon, cc, ajax, 1410)
+	edit(A, ajax, sq, buffon, 1420)
+	edit(R, juve, sq, buffon, 1430)
+
+	// Mbappe moves Monaco → Bayern, completely.
+	edit(R, mbappe, cc, monaco, 1500)
+	edit(A, mbappe, cc, bayern, 1510)
+	edit(A, bayern, sq, mbappe, 1520)
+	edit(R, monaco, sq, mbappe, 1530)
+
+	// Coutinho joins Celta — but Liverpool's page never dropped him:
+	// the Nikola-Mitrovic-style error of §6.3.
+	edit(R, coutinho, cc, liverpool, 1600)
+	edit(A, coutinho, cc, celta, 1610)
+	edit(A, celta, sq, coutinho, 1620)
+	// (missing: Liverpool removes Coutinho from its squad)
+
+	// Rakitic moves Sevilla → Porto and both clubs clean up properly.
+	edit(R, rakitic, cc, sevilla, 1700)
+	edit(A, rakitic, cc, porto, 1710)
+	edit(A, porto, sq, rakitic, 1720)
+	edit(R, sevilla, sq, rakitic, 1730)
+
+	players := []wiclean.EntityID{neymar, buffon, mbappe, coutinho, rakitic}
+	window := wiclean.Window{Start: 1000, End: 2000}
+
+	// Mine the transfer window directly with Algorithm 1. The Goalkeeper
+	// edits support the FootballPlayer-level pattern through the type
+	// hierarchy (abstraction level 1).
+	cfg := wiclean.PM(0.8)
+	cfg.MaxAbstraction = 1
+	res, err := wiclean.Mine(h, players, "FootballPlayer", window, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("most specific frequent patterns in the transfer window:")
+	for _, sp := range res.Patterns {
+		fmt.Printf("  freq %.2f: %s\n", sp.Frequency, sp.Pattern)
+	}
+
+	// Detect who left the pattern incomplete.
+	full := res.Patterns[0].Pattern
+	rep, err := wiclean.NewDetector(h).FindPartials(full, window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d complete transfers, %d partial:\n", rep.FullCount, len(rep.Partials))
+	for _, pe := range rep.Partials {
+		fmt.Printf("  %s — missing:\n", reg.Name(pe.Subject()))
+		for _, s := range pe.Suggestions {
+			fmt.Printf("    %s\n", s.Format(reg))
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module wiclean
+
+go 1.22

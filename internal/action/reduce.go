@@ -1,0 +1,104 @@
+package action
+
+// Reduce computes the paper's reduced set of actions: the subset that
+// captures the net graph effect of applying as in timestamp order, with
+// action/inverse pairs (edits and their reverts) eliminated.
+//
+// Two action sets are equivalent when applying them in timestamp order
+// yields the same graph; the reduced set is the unique (up to timestamps)
+// minimal representative. Concretely, for every edge we replay its +/−
+// sequence against an assumed-consistent starting state and keep only the
+// net transition:
+//
+//   - an edge that ends present but was absent before → one Add
+//   - an edge that ends absent but was present before → one Remove
+//   - an edge that ends where it started → nothing (the "R = 0" rows of
+//     Figure 1)
+//
+// The initial presence of an edge is inferred from its first operation: a
+// first Remove implies the edge existed, a first Add implies it did not.
+// Duplicate consecutive operations (two Adds in a row, as happens with
+// sloppy edits) are idempotent, matching set semantics of graph edges.
+//
+// The surviving action keeps the timestamp of the last operation that moved
+// the edge to its final state, so reduced sets remain chronologically
+// meaningful even though the paper notes timestamps no longer matter after
+// reduction.
+func Reduce(as []Action) []Action {
+	if len(as) == 0 {
+		return nil
+	}
+	sorted := make([]Action, len(as))
+	copy(sorted, as)
+	SortByTime(sorted)
+
+	type state struct {
+		initial bool // edge present before the window
+		present bool // edge present after replaying ops so far
+		lastT   Time // timestamp of last effective op
+		seq     int  // arrival order of the edge key, for stable output
+	}
+	states := map[Edge]*state{}
+	order := []Edge{}
+	for _, a := range sorted {
+		st, ok := states[a.Edge]
+		if !ok {
+			initial := a.Op == Remove // first Remove implies it was there
+			st = &state{initial: initial, present: initial, seq: len(order)}
+			states[a.Edge] = st
+			order = append(order, a.Edge)
+		}
+		want := a.Op == Add
+		if st.present != want {
+			st.present = want
+			st.lastT = a.T
+		}
+	}
+
+	var out []Action
+	for _, e := range order {
+		st := states[e]
+		if st.present == st.initial {
+			continue
+		}
+		op := Remove
+		if st.present {
+			op = Add
+		}
+		out = append(out, Action{Op: op, Edge: e, T: st.lastT})
+	}
+	SortByTime(out)
+	return out
+}
+
+// NetEffect reports, for each edge touched by as, whether the reduced set
+// adds it (+1), removes it (−1), or cancels out (0, not in the map).
+func NetEffect(as []Action) map[Edge]Op {
+	out := map[Edge]Op{}
+	for _, a := range Reduce(as) {
+		out[a.Edge] = a.Op
+	}
+	return out
+}
+
+// Equivalent reports whether two action sets are equivalent in the paper's
+// sense: applied in timestamp order they yield the same graph (assuming the
+// same consistent starting state).
+func Equivalent(a, b []Action) bool {
+	ea, eb := NetEffect(a), NetEffect(b)
+	if len(ea) != len(eb) {
+		return false
+	}
+	for e, op := range ea {
+		if eb[e] != op {
+			return false
+		}
+	}
+	return true
+}
+
+// Redundancy returns how many of the input actions are eliminated by
+// reduction, the paper's "R = 0" rows. Useful as a noise statistic.
+func Redundancy(as []Action) int {
+	return len(as) - len(Reduce(as))
+}

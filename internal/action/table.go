@@ -1,0 +1,76 @@
+package action
+
+import (
+	"fmt"
+	"strings"
+
+	"wiclean/internal/taxonomy"
+)
+
+// TableRow is one rendered row of a Figure-1-style revision table.
+type TableRow struct {
+	Index    int
+	Op       Op
+	Subject  string
+	Relation Label
+	Object   string
+	Time     Time
+	R        int // 1 if the action survives reduction, 0 otherwise
+}
+
+// Table renders a merged revision timeline in the layout of Figure 1 of the
+// paper: one row per action with Subject / Relation / Object / Time and the
+// R column marking whether the action survives reduction.
+func Table(as []Action, reg *taxonomy.Registry) []TableRow {
+	sorted := make([]Action, len(as))
+	copy(sorted, as)
+	SortByTime(sorted)
+
+	surviving := map[Action]int{}
+	for _, a := range Reduce(sorted) {
+		key := a
+		surviving[key]++
+	}
+	rows := make([]TableRow, len(sorted))
+	for i, a := range sorted {
+		r := 0
+		// An action survives if the reduced set contains an action with the
+		// same edge, op and timestamp (reduction keeps the last effective
+		// op's timestamp).
+		if surviving[a] > 0 {
+			surviving[a]--
+			r = 1
+		}
+		rows[i] = TableRow{
+			Index:    i + 1,
+			Op:       a.Op,
+			Subject:  reg.Name(a.Edge.Src),
+			Relation: a.Edge.Label,
+			Object:   reg.Name(a.Edge.Dst),
+			Time:     a.T,
+			R:        r,
+		}
+	}
+	return rows
+}
+
+// FormatTable renders rows as an aligned text table for terminals and docs.
+func FormatTable(rows []TableRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-3s %-28s %-16s %-28s %-12s %s\n", "#", "+/-", "Subject", "Relation", "Object", "Time", "R")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4d %-3s %-28s %-16s %-28s %-12d %d\n",
+			r.Index, r.Op, truncate(r.Subject, 28), r.Relation, truncate(r.Object, 28), r.Time, r.R)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 3 {
+		return s[:n]
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,232 @@
+package assist
+
+import (
+	"strings"
+	"testing"
+
+	"wiclean/internal/action"
+	"wiclean/internal/dump"
+	"wiclean/internal/pattern"
+	"wiclean/internal/taxonomy"
+)
+
+func setup(t *testing.T) (*taxonomy.Registry, *dump.History, []taxonomy.EntityID, []taxonomy.EntityID) {
+	t.Helper()
+	x := taxonomy.New()
+	x.AddChain("Person", "Athlete", "FootballPlayer")
+	x.AddChain("Organisation", "FootballClub")
+	reg := taxonomy.NewRegistry(x)
+	var players, clubs []taxonomy.EntityID
+	for _, n := range []string{"P1", "P2"} {
+		players = append(players, reg.MustAdd(n, "FootballPlayer"))
+	}
+	for _, n := range []string{"C1", "C2"} {
+		clubs = append(clubs, reg.MustAdd(n, "FootballClub"))
+	}
+	return reg, dump.NewHistory(reg), players, clubs
+}
+
+func reciprocal() pattern.Pattern {
+	return pattern.Pattern{
+		Vars: []taxonomy.Type{"FootballPlayer", "FootballClub"},
+		Actions: []pattern.AbstractAction{
+			{Op: action.Add, Src: 0, Label: "current_club", Dst: 1},
+			{Op: action.Add, Src: 1, Label: "squad", Dst: 0},
+		},
+	}
+}
+
+func transfer3() pattern.Pattern {
+	return pattern.Pattern{
+		Vars: []taxonomy.Type{"FootballPlayer", "FootballClub", "FootballClub"},
+		Actions: []pattern.AbstractAction{
+			{Op: action.Add, Src: 0, Label: "current_club", Dst: 1},
+			{Op: action.Remove, Src: 0, Label: "current_club", Dst: 2},
+			{Op: action.Add, Src: 1, Label: "squad", Dst: 0},
+		},
+	}
+}
+
+func TestSuggestProposesMissingCompanion(t *testing.T) {
+	reg, store, players, clubs := setup(t)
+	as := NewAssistant(store, []KnownPattern{{Pattern: reciprocal(), Frequency: 0.8, Width: 100}})
+
+	edit := action.Action{Op: action.Add, Edge: action.Edge{Src: players[0], Label: "current_club", Dst: clubs[0]}, T: 50}
+	advices := as.Suggest(edit, 50)
+	if len(advices) != 1 {
+		t.Fatalf("advices = %d", len(advices))
+	}
+	adv := advices[0]
+	if adv.Matched != 0 || len(adv.Missing) != 1 || len(adv.Done) != 0 {
+		t.Fatalf("advice = %+v", adv)
+	}
+	s := adv.Missing[0]
+	if s.Src != clubs[0] || s.Dst != players[0] || s.Label != "squad" {
+		t.Fatalf("suggestion = %+v", s)
+	}
+	if !strings.Contains(adv.Format(reg), "suggest") {
+		t.Error("Format should render suggestions")
+	}
+}
+
+func TestSuggestRecognizesDoneCompanion(t *testing.T) {
+	_, store, players, clubs := setup(t)
+	// The club already reciprocated earlier in the window.
+	store.AddActions(action.Action{
+		Op: action.Add, Edge: action.Edge{Src: clubs[0], Label: "squad", Dst: players[0]}, T: 10,
+	})
+	as := NewAssistant(store, []KnownPattern{{Pattern: reciprocal(), Frequency: 0.8, Width: 100}})
+	edit := action.Action{Op: action.Add, Edge: action.Edge{Src: players[0], Label: "current_club", Dst: clubs[0]}, T: 50}
+	advices := as.Suggest(edit, 50)
+	if len(advices) != 1 {
+		t.Fatalf("advices = %d", len(advices))
+	}
+	adv := advices[0]
+	if len(adv.Done) != 1 || len(adv.Missing) != 0 {
+		t.Fatalf("advice = %+v", adv)
+	}
+}
+
+func TestSuggestBindsVariablesTransitively(t *testing.T) {
+	_, store, players, clubs := setup(t)
+	// The old-club removal is recorded; its club entity must propagate
+	// into the binding so nothing is double-suggested.
+	store.AddActions(action.Action{
+		Op: action.Remove, Edge: action.Edge{Src: players[0], Label: "current_club", Dst: clubs[1]}, T: 20,
+	})
+	as := NewAssistant(store, []KnownPattern{{Pattern: transfer3(), Frequency: 0.6, Width: 100}})
+	edit := action.Action{Op: action.Add, Edge: action.Edge{Src: players[0], Label: "current_club", Dst: clubs[0]}, T: 50}
+	advices := as.Suggest(edit, 50)
+	if len(advices) != 1 {
+		t.Fatalf("advices = %d", len(advices))
+	}
+	adv := advices[0]
+	if len(adv.Done) != 1 {
+		t.Fatalf("done = %+v", adv.Done)
+	}
+	if adv.Done[0].Dst != clubs[1] {
+		t.Fatalf("old club should be bound from the recorded removal: %+v", adv.Done[0])
+	}
+	if len(adv.Missing) != 1 || adv.Missing[0].Label != "squad" {
+		t.Fatalf("missing = %+v", adv.Missing)
+	}
+}
+
+func TestSuggestIgnoresUnrelatedEdits(t *testing.T) {
+	_, store, players, clubs := setup(t)
+	as := NewAssistant(store, []KnownPattern{{Pattern: reciprocal(), Frequency: 0.8, Width: 100}})
+	// Wrong label.
+	edit := action.Action{Op: action.Add, Edge: action.Edge{Src: players[0], Label: "sponsor", Dst: clubs[0]}, T: 50}
+	if got := as.Suggest(edit, 50); len(got) != 0 {
+		t.Fatalf("unrelated edit advised: %v", got)
+	}
+	// Wrong op.
+	edit = action.Action{Op: action.Remove, Edge: action.Edge{Src: players[0], Label: "current_club", Dst: clubs[0]}, T: 50}
+	if got := as.Suggest(edit, 50); len(got) != 0 {
+		t.Fatalf("wrong-op edit advised: %v", got)
+	}
+}
+
+func TestSuggestOrdersByFrequency(t *testing.T) {
+	_, store, players, clubs := setup(t)
+	as := NewAssistant(store, []KnownPattern{
+		{Pattern: transfer3(), Frequency: 0.4, Width: 100},
+		{Pattern: reciprocal(), Frequency: 0.9, Width: 100},
+	})
+	edit := action.Action{Op: action.Add, Edge: action.Edge{Src: players[0], Label: "current_club", Dst: clubs[0]}, T: 50}
+	advices := as.Suggest(edit, 50)
+	if len(advices) != 2 {
+		t.Fatalf("advices = %d", len(advices))
+	}
+	if advices[0].Frequency < advices[1].Frequency {
+		t.Fatal("advices must be ordered by frequency")
+	}
+}
+
+func TestSuggestWindowAlignment(t *testing.T) {
+	_, store, players, clubs := setup(t)
+	// A companion edit in a previous window must not count as done.
+	store.AddActions(action.Action{
+		Op: action.Add, Edge: action.Edge{Src: clubs[0], Label: "squad", Dst: players[0]}, T: 40,
+	})
+	as := NewAssistant(store, []KnownPattern{{Pattern: reciprocal(), Frequency: 0.8, Width: 100}})
+	edit := action.Action{Op: action.Add, Edge: action.Edge{Src: players[0], Label: "current_club", Dst: clubs[0]}, T: 150}
+	advices := as.Suggest(edit, 150) // window [100, 200)
+	if len(advices) != 1 || len(advices[0].Missing) != 1 {
+		t.Fatalf("stale companion treated as done: %+v", advices)
+	}
+}
+
+func TestFindPeriodicDetectsYearlyPattern(t *testing.T) {
+	p := reciprocal()
+	key := p.Canonical()
+	occ := map[string][]Occurrence{
+		key: {
+			{Window: action.Window{Start: 0, End: 2 * action.Week}, Frequency: 0.8},
+			{Window: action.Window{Start: action.Year, End: action.Year + 2*action.Week}, Frequency: 0.7},
+			{Window: action.Window{Start: 2 * action.Year, End: 2*action.Year + 2*action.Week}, Frequency: 0.9},
+		},
+	}
+	pats := map[string]pattern.Pattern{key: p}
+	got := FindPeriodic(occ, pats, 0.25)
+	if len(got) != 1 {
+		t.Fatalf("periodic = %v", got)
+	}
+	pp := got[0]
+	if pp.Period != action.Year {
+		t.Errorf("period = %d", pp.Period)
+	}
+	if pp.Next.Start != 3*action.Year {
+		t.Errorf("next = %v", pp.Next)
+	}
+	if pp.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestFindPeriodicRejectsIrregular(t *testing.T) {
+	p := reciprocal()
+	key := p.Canonical()
+	occ := map[string][]Occurrence{
+		key: {
+			{Window: action.Window{Start: 0, End: action.Week}},
+			{Window: action.Window{Start: 10 * action.Week, End: 11 * action.Week}},
+			{Window: action.Window{Start: 12 * action.Week, End: 13 * action.Week}},
+		},
+	}
+	if got := FindPeriodic(occ, map[string]pattern.Pattern{key: p}, 0.25); len(got) != 0 {
+		t.Fatalf("irregular occurrences accepted: %v", got)
+	}
+}
+
+func TestFindPeriodicNeedsTwoOccurrences(t *testing.T) {
+	p := reciprocal()
+	key := p.Canonical()
+	occ := map[string][]Occurrence{
+		key: {{Window: action.Window{Start: 0, End: action.Week}}},
+	}
+	if got := FindPeriodic(occ, map[string]pattern.Pattern{key: p}, 0.25); len(got) != 0 {
+		t.Fatalf("single occurrence accepted: %v", got)
+	}
+}
+
+func TestFindPeriodicToleranceBoundary(t *testing.T) {
+	p := reciprocal()
+	key := p.Canonical()
+	// Gaps 10w and 12w: mean 11w, deviations ~9.1% — inside 0.1? 1w/11w
+	// ≈ 0.0909 <= 0.1, accepted; at tolerance 0.05 rejected.
+	occ := map[string][]Occurrence{
+		key: {
+			{Window: action.Window{Start: 0, End: action.Week}},
+			{Window: action.Window{Start: 10 * action.Week, End: 11 * action.Week}},
+			{Window: action.Window{Start: 22 * action.Week, End: 23 * action.Week}},
+		},
+	}
+	pats := map[string]pattern.Pattern{key: p}
+	if got := FindPeriodic(occ, pats, 0.10); len(got) != 1 {
+		t.Fatalf("within tolerance rejected: %v", got)
+	}
+	if got := FindPeriodic(occ, pats, 0.05); len(got) != 0 {
+		t.Fatalf("outside tolerance accepted: %v", got)
+	}
+}

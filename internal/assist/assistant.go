@@ -1,0 +1,222 @@
+package assist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wiclean/internal/action"
+	"wiclean/internal/detect"
+	"wiclean/internal/mining"
+	"wiclean/internal/pattern"
+	"wiclean/internal/taxonomy"
+)
+
+// KnownPattern is a mined pattern registered with the assistant, with the
+// statistical metadata shown to editors.
+type KnownPattern struct {
+	Pattern   pattern.Pattern
+	Frequency float64
+	Width     action.Time // window width the pattern was mined at
+}
+
+// Advice is the assistant's response to a live edit: the pattern the edit
+// appears to start, the companion edits already present in the current
+// window, and the ones still missing (the on-line suggestions of §5).
+type Advice struct {
+	Pattern   pattern.Pattern
+	Frequency float64
+	Matched   int // index of the pattern action the edit realizes
+	Done      []detect.Suggestion
+	Missing   []detect.Suggestion
+}
+
+// Format renders the advice with entity names.
+func (a Advice) Format(reg *taxonomy.Registry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pattern (freq %.2f): %s\n", a.Frequency, a.Pattern)
+	for _, s := range a.Done {
+		fmt.Fprintf(&b, "  done:    %s\n", s.Format(reg))
+	}
+	for _, s := range a.Missing {
+		fmt.Fprintf(&b, "  suggest: %s\n", s.Format(reg))
+	}
+	return b.String()
+}
+
+// Assistant matches live edits against known patterns and suggests
+// completions.
+type Assistant struct {
+	store    mining.Store
+	patterns []KnownPattern
+}
+
+// NewAssistant returns an assistant over the store with the given mined
+// patterns.
+func NewAssistant(store mining.Store, patterns []KnownPattern) *Assistant {
+	ps := append([]KnownPattern(nil), patterns...)
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Frequency > ps[j].Frequency })
+	return &Assistant{store: store, patterns: ps}
+}
+
+// Suggest reacts to a live edit at time now: every known pattern containing
+// an abstract action the edit realizes yields one Advice, with companion
+// edits split into already-done (recorded in the pattern's current window)
+// and still-missing. Advices are ordered by pattern frequency.
+func (a *Assistant) Suggest(edit action.Action, now action.Time) []Advice {
+	var out []Advice
+	for _, kp := range a.patterns {
+		p := kp.Pattern
+		for ai, abs := range p.Actions {
+			if !a.realizes(edit, p, abs) {
+				continue
+			}
+			// Bind the matched action's variables to the edit's entities.
+			binding := make([]taxonomy.EntityID, len(p.Vars))
+			for i := range binding {
+				binding[i] = taxonomy.NoEntity
+			}
+			binding[abs.Src] = edit.Edge.Src
+			binding[abs.Dst] = edit.Edge.Dst
+
+			// The pattern's current window: the width-aligned window
+			// containing now.
+			width := kp.Width
+			if width <= 0 {
+				width = 2 * action.Week
+			}
+			start := now - now%width
+			win := action.Window{Start: start, End: start + width}
+
+			done, missing := a.companions(p, ai, binding, win)
+			out = append(out, Advice{
+				Pattern:   p,
+				Frequency: kp.Frequency,
+				Matched:   ai,
+				Done:      done,
+				Missing:   missing,
+			})
+			break // one advice per pattern, on the first matching action
+		}
+	}
+	return out
+}
+
+// realizes reports whether the concrete edit realizes the abstract action.
+func (a *Assistant) realizes(edit action.Action, p pattern.Pattern, abs pattern.AbstractAction) bool {
+	if edit.Op != abs.Op || edit.Edge.Label != abs.Label {
+		return false
+	}
+	reg := a.store.Registry()
+	return reg.HasType(edit.Edge.Src, p.Vars[abs.Src]) && reg.HasType(edit.Edge.Dst, p.Vars[abs.Dst])
+}
+
+// companions splits the pattern's other actions into already-recorded and
+// missing, instantiated under the binding. Companion actions touching
+// unbound variables are extended with bindings discovered along the way
+// (an already-done companion can bind more variables for later ones).
+func (a *Assistant) companions(p pattern.Pattern, matched int, binding []taxonomy.EntityID, win action.Window) (done, missing []detect.Suggestion) {
+	reg := a.store.Registry()
+	// Collect the window's reduced actions for the types in the pattern.
+	var ids []taxonomy.EntityID
+	seen := map[taxonomy.EntityID]bool{}
+	for _, t := range p.TypeSet() {
+		for _, id := range reg.EntitiesOf(t) {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	reduced := action.Reduce(a.store.ActionsOf(ids, win))
+
+	// Sweep repeatedly so bindings discovered from already-done companions
+	// propagate to actions that were not instantiable yet. Each sweep
+	// handles the actions with at least one bound endpoint; a final pass
+	// reports still-uninstantiable actions as missing with both sides open.
+	handled := make([]bool, len(p.Actions))
+	handled[matched] = true
+	for round := 0; round < len(p.Actions); round++ {
+		progressed := false
+		for ai, abs := range p.Actions {
+			if handled[ai] {
+				continue
+			}
+			src, dst := binding[abs.Src], binding[abs.Dst]
+			if src == taxonomy.NoEntity && dst == taxonomy.NoEntity {
+				continue // not yet instantiable; wait for more bindings
+			}
+			handled[ai] = true
+			progressed = true
+			found, other := a.lookup(reduced, abs, p, src, dst)
+			sug := detect.Suggestion{
+				Op:      abs.Op,
+				Src:     src,
+				SrcType: p.Vars[abs.Src],
+				Label:   abs.Label,
+				Dst:     dst,
+				DstType: p.Vars[abs.Dst],
+			}
+			if found {
+				// Propagate any variable the recorded edit binds.
+				if src == taxonomy.NoEntity {
+					binding[abs.Src] = other
+					sug.Src = other
+				}
+				if dst == taxonomy.NoEntity {
+					binding[abs.Dst] = other
+					sug.Dst = other
+				}
+				done = append(done, sug)
+			} else {
+				missing = append(missing, sug)
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	for ai, abs := range p.Actions {
+		if handled[ai] {
+			continue
+		}
+		missing = append(missing, detect.Suggestion{
+			Op:      abs.Op,
+			Src:     binding[abs.Src],
+			SrcType: p.Vars[abs.Src],
+			Label:   abs.Label,
+			Dst:     binding[abs.Dst],
+			DstType: p.Vars[abs.Dst],
+		})
+	}
+	return done, missing
+}
+
+// lookup searches the reduced window actions for a concrete realization of
+// abs with the given (possibly partial) binding. It returns whether one was
+// found and the entity bound to the previously unbound side (if any).
+func (a *Assistant) lookup(reduced []action.Action, abs pattern.AbstractAction, p pattern.Pattern, src, dst taxonomy.EntityID) (bool, taxonomy.EntityID) {
+	reg := a.store.Registry()
+	for _, c := range reduced {
+		if c.Op != abs.Op || c.Edge.Label != abs.Label {
+			continue
+		}
+		if src != taxonomy.NoEntity && c.Edge.Src != src {
+			continue
+		}
+		if dst != taxonomy.NoEntity && c.Edge.Dst != dst {
+			continue
+		}
+		if !reg.HasType(c.Edge.Src, p.Vars[abs.Src]) || !reg.HasType(c.Edge.Dst, p.Vars[abs.Dst]) {
+			continue
+		}
+		other := taxonomy.NoEntity
+		if src == taxonomy.NoEntity {
+			other = c.Edge.Src
+		} else if dst == taxonomy.NoEntity {
+			other = c.Edge.Dst
+		}
+		return true, other
+	}
+	return false, taxonomy.NoEntity
+}

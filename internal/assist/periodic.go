@@ -1,0 +1,92 @@
+// Package assist implements the edit-assistance layer of §5: detecting
+// patterns that recur periodically across windows (transfer windows every
+// summer, award seasons every spring) and providing online suggestions to
+// editors as they update entities inside such a window — the backend of the
+// WiClean browser plug-in.
+package assist
+
+import (
+	"fmt"
+	"sort"
+
+	"wiclean/internal/action"
+	"wiclean/internal/pattern"
+)
+
+// Occurrence is one window in which a pattern was frequent.
+type Occurrence struct {
+	Window    action.Window
+	Frequency float64
+}
+
+// PeriodicPattern is a pattern whose frequent windows recur with a roughly
+// constant period ("transfer windows occur each summer with a similar edit
+// pattern", §5).
+type PeriodicPattern struct {
+	Pattern     pattern.Pattern
+	Occurrences []Occurrence
+	Period      action.Time // mean gap between occurrence starts
+	Next        action.Window
+}
+
+// String renders the periodic pattern.
+func (p PeriodicPattern) String() string {
+	return fmt.Sprintf("every ~%dd (%d occurrences, next %v): %s",
+		p.Period/action.Day, len(p.Occurrences), p.Next, p.Pattern)
+}
+
+// FindPeriodic groups occurrences by pattern (canonical form) and returns
+// the patterns whose consecutive gaps deviate from their mean by at most
+// tolerance (a fraction, e.g. 0.25). At least two occurrences — hence one
+// gap — are required. The predicted next window starts one period after
+// the last occurrence and inherits its width.
+func FindPeriodic(byPattern map[string][]Occurrence, patterns map[string]pattern.Pattern, tolerance float64) []PeriodicPattern {
+	keys := make([]string, 0, len(byPattern))
+	for k := range byPattern {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var out []PeriodicPattern
+	for _, k := range keys {
+		occ := append([]Occurrence(nil), byPattern[k]...)
+		if len(occ) < 2 {
+			continue
+		}
+		sort.Slice(occ, func(i, j int) bool { return occ[i].Window.Start < occ[j].Window.Start })
+		gaps := make([]action.Time, 0, len(occ)-1)
+		for i := 1; i < len(occ); i++ {
+			gaps = append(gaps, occ[i].Window.Start-occ[i-1].Window.Start)
+		}
+		var sum action.Time
+		for _, g := range gaps {
+			sum += g
+		}
+		mean := sum / action.Time(len(gaps))
+		if mean <= 0 {
+			continue
+		}
+		regular := true
+		for _, g := range gaps {
+			dev := float64(g-mean) / float64(mean)
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > tolerance {
+				regular = false
+				break
+			}
+		}
+		if !regular {
+			continue
+		}
+		last := occ[len(occ)-1].Window
+		out = append(out, PeriodicPattern{
+			Pattern:     patterns[k],
+			Occurrences: occ,
+			Period:      mean,
+			Next:        action.Window{Start: last.Start + mean, End: last.Start + mean + last.Width()},
+		})
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package dump
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wiclean/internal/taxonomy"
+)
+
+// universeRecord is one line of a universe dump: either a taxonomy edge or
+// an entity with its most specific type.
+type universeRecord struct {
+	Kind   string `json:"kind"` // "type" or "entity"
+	Name   string `json:"name"`
+	Parent string `json:"parent,omitempty"` // for kind "type"
+	Type   string `json:"type,omitempty"`   // for kind "entity"
+}
+
+// WriteUniverse serializes the registry's taxonomy and entities as JSON
+// Lines, in an order ReadUniverse can replay (types parent-first, then
+// entities in ID order so IDs are stable across a round trip).
+func WriteUniverse(w io.Writer, reg *taxonomy.Registry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	tax := reg.Taxonomy()
+	// BFS from the root guarantees parents precede children.
+	queue := []taxonomy.Type{taxonomy.Root}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		if t != taxonomy.Root {
+			rec := universeRecord{Kind: "type", Name: string(t), Parent: string(tax.Parent(t))}
+			if err := enc.Encode(&rec); err != nil {
+				return fmt.Errorf("dump: encoding type %q: %w", t, err)
+			}
+		}
+		queue = append(queue, tax.Children(t)...)
+	}
+	for _, id := range reg.All() {
+		rec := universeRecord{Kind: "entity", Name: reg.Name(id), Type: string(reg.TypeOf(id))}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("dump: encoding entity %q: %w", rec.Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadUniverse reconstructs a registry (and its taxonomy) from a universe
+// dump produced by WriteUniverse.
+func ReadUniverse(r io.Reader) (*taxonomy.Registry, error) {
+	tax := taxonomy.New()
+	reg := taxonomy.NewRegistry(tax)
+	dec := json.NewDecoder(r)
+	line := 0
+	for {
+		var rec universeRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return reg, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("dump: decoding universe line %d: %w", line, err)
+		}
+		line++
+		switch rec.Kind {
+		case "type":
+			parent := taxonomy.Type(rec.Parent)
+			if rec.Parent == "" {
+				parent = taxonomy.Root
+			}
+			if err := tax.Add(taxonomy.Type(rec.Name), parent); err != nil {
+				return nil, fmt.Errorf("dump: universe line %d: %w", line, err)
+			}
+		case "entity":
+			if _, err := reg.Add(rec.Name, taxonomy.Type(rec.Type)); err != nil {
+				return nil, fmt.Errorf("dump: universe line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("dump: universe line %d: unknown kind %q", line, rec.Kind)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package dump
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+
+	"wiclean/internal/action"
+)
+
+// The MediaWiki export format (<mediawiki><page><revision>...): the shape
+// of the official Wikipedia dumps the paper could not get a revisions
+// database for. WriteXML/ReadXML convert between it and the internal
+// Revision slice so real dump tooling can interoperate.
+
+type xmlMediaWiki struct {
+	XMLName xml.Name  `xml:"mediawiki"`
+	Pages   []xmlPage `xml:"page"`
+}
+
+type xmlPage struct {
+	Title     string        `xml:"title"`
+	Revisions []xmlRevision `xml:"revision"`
+}
+
+type xmlRevision struct {
+	ID        int    `xml:"id"`
+	Timestamp int64  `xml:"timestamp"`
+	Text      string `xml:"text"`
+}
+
+// WriteXML serializes revisions as a MediaWiki-style export: one <page>
+// per entity (in first-appearance order), revisions chronological.
+func WriteXML(w io.Writer, revs []Revision) error {
+	byEntity := map[string][]Revision{}
+	var order []string
+	for _, r := range revs {
+		if _, ok := byEntity[r.Entity]; !ok {
+			order = append(order, r.Entity)
+		}
+		byEntity[r.Entity] = append(byEntity[r.Entity], r)
+	}
+	doc := xmlMediaWiki{}
+	for _, name := range order {
+		seq := byEntity[name]
+		sort.SliceStable(seq, func(i, j int) bool { return seq[i].T < seq[j].T })
+		page := xmlPage{Title: name}
+		for i, r := range seq {
+			page.Revisions = append(page.Revisions, xmlRevision{
+				ID:        i + 1,
+				Timestamp: int64(r.T),
+				Text:      r.Text,
+			})
+		}
+		doc.Pages = append(doc.Pages, page)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("dump: encoding XML: %w", err)
+	}
+	// Encoder.Encode does not write a trailing newline.
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ReadXML parses a MediaWiki-style export into revisions, page by page in
+// document order.
+func ReadXML(r io.Reader) ([]Revision, error) {
+	var doc xmlMediaWiki
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("dump: decoding XML: %w", err)
+	}
+	var out []Revision
+	for _, page := range doc.Pages {
+		for _, rev := range page.Revisions {
+			out = append(out, Revision{
+				Entity: page.Title,
+				T:      action.Time(rev.Timestamp),
+				Text:   rev.Text,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package dump
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestXMLRoundTrip(t *testing.T) {
+	revs := []Revision{
+		{Entity: "Neymar", T: 100, Text: "{{Infobox x\n| a = [[B]]\n}}"},
+		{Entity: "Neymar", T: 200, Text: "{{Infobox x\n| a = [[C]]\n}}"},
+		{Entity: "PSG F.C.", T: 150, Text: "club body with <angle> & ampersand"},
+	}
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, revs); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "<mediawiki>") || !strings.Contains(text, "<page>") {
+		t.Fatalf("not MediaWiki-shaped:\n%s", text[:120])
+	}
+	got, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("revisions = %d", len(got))
+	}
+	// Grouped by page: both Neymar revisions precede PSG's.
+	if got[0].Entity != "Neymar" || got[1].Entity != "Neymar" || got[2].Entity != "PSG F.C." {
+		t.Fatalf("order = %v", got)
+	}
+	if got[2].Text != revs[2].Text {
+		t.Fatalf("XML escaping lost content: %q", got[2].Text)
+	}
+	if got[0].T != 100 || got[1].T != 200 {
+		t.Fatal("timestamps lost")
+	}
+}
+
+func TestXMLSortsRevisionsWithinPage(t *testing.T) {
+	revs := []Revision{
+		{Entity: "A", T: 300, Text: "late"},
+		{Entity: "A", T: 100, Text: "early"},
+	}
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, revs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Text != "early" || got[1].Text != "late" {
+		t.Fatalf("revisions not chronological: %v", got)
+	}
+}
+
+func TestReadXMLErrors(t *testing.T) {
+	if _, err := ReadXML(strings.NewReader("<unclosed")); err == nil {
+		t.Fatal("bad XML should error")
+	}
+}
+
+func TestXMLIngestEndToEnd(t *testing.T) {
+	// XML dump -> revisions -> extracted actions, matching the JSONL path.
+	reg := soccerRegistry(t)
+	revs := []Revision{
+		{Entity: "Neymar", T: 100, Text: "{{Infobox bio\n| current_club = [[Barcelona F.C.]]\n}}"},
+		{Entity: "Neymar", T: 200, Text: "{{Infobox bio\n| current_club = [[PSG F.C.]]\n}}"},
+	}
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, revs); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHistory(reg)
+	if err := h.IngestRevisions(parsed); err != nil {
+		t.Fatal(err)
+	}
+	if h.ActionCount() != 3 { // add barca; add psg + remove barca
+		t.Fatalf("actions = %d", h.ActionCount())
+	}
+}

@@ -1,0 +1,50 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"wiclean/internal/detect"
+	"wiclean/internal/synth"
+	"wiclean/internal/taxonomy"
+)
+
+// DumpUnmatched renders up to limit signals that match no injected
+// instance, for calibration and debugging of the synthetic ground truth.
+func DumpUnmatched(world *synth.World, reports []*detect.Report, limit int) string {
+	bySubject := map[taxonomy.EntityID][]int{}
+	for i := range world.Truth {
+		inst := &world.Truth[i]
+		if inst.IsError() || len(inst.Skipped) > 0 {
+			bySubject[inst.Entities[0]] = append(bySubject[inst.Entities[0]], i)
+		}
+	}
+	var b strings.Builder
+	seen := map[string]bool{}
+	n := 0
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		for _, pe := range rep.Partials {
+			key := signalKey(rep, pe)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if _, kind := matchSignal(world, rep, pe, bySubject); kind != matchNone {
+				continue
+			}
+			if n >= limit {
+				return b.String()
+			}
+			n++
+			fmt.Fprintf(&b, "win %v pattern %s\n  subject=%q present=%v missing=%v\n",
+				rep.Window, rep.Pattern, world.Reg.Name(pe.Subject()), pe.Present, pe.Missing)
+			for _, s := range pe.Suggestions {
+				fmt.Fprintf(&b, "  suggest %s\n", s.Format(world.Reg))
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"testing"
+
+	"wiclean/internal/action"
+	"wiclean/internal/taxonomy"
+)
+
+func testRegistry(t *testing.T) *taxonomy.Registry {
+	t.Helper()
+	x := taxonomy.New()
+	x.AddChain("Person", "Athlete", "FootballPlayer")
+	x.AddChain("Organisation", "FootballClub")
+	x.AddChain("Organisation", "SportsLeague")
+	r := taxonomy.NewRegistry(x)
+	r.MustAdd("Neymar", "FootballPlayer")       // 0
+	r.MustAdd("Barcelona F.C.", "FootballClub") // 1
+	r.MustAdd("PSG F.C.", "FootballClub")       // 2
+	r.MustAdd("Ligue 1", "SportsLeague")        // 3
+	return r
+}
+
+func TestAddRemoveHasEdge(t *testing.T) {
+	g := New(testRegistry(t))
+	e := action.Edge{Src: 0, Label: "current_club", Dst: 2}
+	if g.HasEdge(e) {
+		t.Fatal("empty graph should have no edges")
+	}
+	g.AddEdge(e)
+	if !g.HasEdge(e) {
+		t.Fatal("edge should be present after AddEdge")
+	}
+	g.AddEdge(e) // idempotent
+	if g.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d, want 1", g.EdgeCount())
+	}
+	g.RemoveEdge(e)
+	if g.HasEdge(e) || g.EdgeCount() != 0 {
+		t.Fatal("edge should be gone after RemoveEdge")
+	}
+	g.RemoveEdge(e) // no-op
+	if g.EdgeCount() != 0 {
+		t.Fatal("double remove should be a no-op")
+	}
+}
+
+func TestApplyAllOrdersByTime(t *testing.T) {
+	g := New(testRegistry(t))
+	e := action.Edge{Src: 0, Label: "current_club", Dst: 2}
+	// Remove at t=20 after add at t=10, given unsorted.
+	g.ApplyAll([]action.Action{
+		{Op: action.Remove, Edge: e, T: 20},
+		{Op: action.Add, Edge: e, T: 10},
+	})
+	if g.HasEdge(e) {
+		t.Fatal("edge should be absent: add@10 then remove@20")
+	}
+}
+
+func TestOutAndOutWithLabel(t *testing.T) {
+	g := New(testRegistry(t))
+	g.AddEdge(action.Edge{Src: 0, Label: "current_club", Dst: 2})
+	g.AddEdge(action.Edge{Src: 0, Label: "in_league", Dst: 3})
+	g.AddEdge(action.Edge{Src: 2, Label: "squad", Dst: 0})
+
+	out := g.Out(0)
+	if len(out) != 2 {
+		t.Fatalf("Out(0) = %v", out)
+	}
+	if out[0].Label != "current_club" || out[1].Label != "in_league" {
+		t.Fatalf("Out(0) not sorted by label: %v", out)
+	}
+	clubs := g.OutWithLabel(0, "current_club")
+	if len(clubs) != 1 || clubs[0] != 2 {
+		t.Fatalf("OutWithLabel = %v", clubs)
+	}
+	if got := g.OutWithLabel(1, "squad"); got != nil {
+		t.Fatalf("OutWithLabel on empty source = %v", got)
+	}
+}
+
+func TestTouchedNodesAndEdges(t *testing.T) {
+	g := New(testRegistry(t))
+	g.AddEdge(action.Edge{Src: 0, Label: "current_club", Dst: 2})
+	g.AddEdge(action.Edge{Src: 2, Label: "squad", Dst: 0})
+	nodes := g.TouchedNodes()
+	if len(nodes) != 2 || nodes[0] != 0 || nodes[1] != 2 {
+		t.Fatalf("TouchedNodes = %v", nodes)
+	}
+	es := g.Edges()
+	if len(es) != 2 || es[0].Src != 0 || es[1].Src != 2 {
+		t.Fatalf("Edges = %v", es)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := New(testRegistry(t))
+	g.AddEdge(action.Edge{Src: 0, Label: "current_club", Dst: 2})
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	c.AddEdge(action.Edge{Src: 0, Label: "in_league", Dst: 3})
+	if g.Equal(c) {
+		t.Fatal("mutating clone must not affect original")
+	}
+	if g.EdgeCount() != 1 {
+		t.Fatal("original changed by clone mutation")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(testRegistry(t))
+	g.AddEdge(action.Edge{Src: 0, Label: "current_club", Dst: 2})
+	g.AddEdge(action.Edge{Src: 2, Label: "in_league", Dst: 3})
+	g.AddEdge(action.Edge{Src: 3, Label: "top_club", Dst: 1})
+
+	if got := g.Reachable(0, 0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Reachable hops=0 = %v", got)
+	}
+	if got := g.Reachable(0, 1); len(got) != 2 {
+		t.Fatalf("Reachable hops=1 = %v", got)
+	}
+	if got := g.Reachable(0, 2); len(got) != 3 {
+		t.Fatalf("Reachable hops=2 = %v", got)
+	}
+	if got := g.Reachable(0, -1); len(got) != 4 {
+		t.Fatalf("Reachable unbounded = %v", got)
+	}
+}
+
+func TestReachableHandlesCycles(t *testing.T) {
+	g := New(testRegistry(t))
+	g.AddEdge(action.Edge{Src: 0, Label: "a", Dst: 2})
+	g.AddEdge(action.Edge{Src: 2, Label: "b", Dst: 0})
+	got := g.Reachable(0, -1)
+	if len(got) != 2 {
+		t.Fatalf("Reachable with cycle = %v", got)
+	}
+}
+
+func TestApplyReducedEqualsApplyRaw(t *testing.T) {
+	// Applying a raw action sequence and its reduction from the same start
+	// state must yield equal graphs (the definition of reduction).
+	reg := testRegistry(t)
+	raw := []action.Action{
+		{Op: action.Add, Edge: action.Edge{Src: 0, Label: "current_club", Dst: 1}, T: 1},
+		{Op: action.Remove, Edge: action.Edge{Src: 0, Label: "current_club", Dst: 1}, T: 2},
+		{Op: action.Add, Edge: action.Edge{Src: 0, Label: "current_club", Dst: 2}, T: 3},
+		{Op: action.Add, Edge: action.Edge{Src: 2, Label: "squad", Dst: 0}, T: 4},
+		{Op: action.Add, Edge: action.Edge{Src: 2, Label: "squad", Dst: 0}, T: 5},
+	}
+	g1 := New(reg)
+	g1.ApplyAll(raw)
+	g2 := New(reg)
+	g2.ApplyAll(action.Reduce(raw))
+	if !g1.Equal(g2) {
+		t.Fatalf("raw %v != reduced %v", g1, g2)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := New(testRegistry(t))
+	g.AddEdge(action.Edge{Src: 0, Label: "current_club", Dst: 2})
+	if s := g.String(); s == "" {
+		t.Error("String should render")
+	}
+}

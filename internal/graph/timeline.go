@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"sort"
+
+	"wiclean/internal/action"
+	"wiclean/internal/taxonomy"
+)
+
+// Timeline reconstructs graph snapshots from a revision action stream —
+// the paper's "graph G(V, E) modeling the relations between entities at a
+// given point in time". Edges whose first recorded operation is a Remove
+// are assumed present initially (the revision log only shows changes, not
+// the pre-existing state).
+type Timeline struct {
+	reg     *taxonomy.Registry
+	actions []action.Action // sorted by time
+	initial []action.Edge   // edges inferred to pre-exist the log
+}
+
+// NewTimeline builds a timeline over the action stream.
+func NewTimeline(reg *taxonomy.Registry, as []action.Action) *Timeline {
+	sorted := make([]action.Action, len(as))
+	copy(sorted, as)
+	action.SortByTime(sorted)
+
+	firstOp := map[action.Edge]action.Op{}
+	var initial []action.Edge
+	for _, a := range sorted {
+		if _, ok := firstOp[a.Edge]; !ok {
+			firstOp[a.Edge] = a.Op
+			if a.Op == action.Remove {
+				initial = append(initial, a.Edge)
+			}
+		}
+	}
+	return &Timeline{reg: reg, actions: sorted, initial: initial}
+}
+
+// At returns the graph as of time t (inclusive): the inferred initial
+// state with every action at or before t applied.
+func (tl *Timeline) At(t action.Time) *Graph {
+	g := New(tl.reg)
+	for _, e := range tl.initial {
+		g.AddEdge(e)
+	}
+	for _, a := range tl.actions {
+		if a.T > t {
+			break
+		}
+		g.Apply(a)
+	}
+	return g
+}
+
+// Initial returns the graph state inferred to precede the log.
+func (tl *Timeline) Initial() *Graph {
+	g := New(tl.reg)
+	for _, e := range tl.initial {
+		g.AddEdge(e)
+	}
+	return g
+}
+
+// Span returns the time range covered by the recorded actions.
+func (tl *Timeline) Span() action.Window {
+	if len(tl.actions) == 0 {
+		return action.Window{}
+	}
+	return action.Window{Start: tl.actions[0].T, End: tl.actions[len(tl.actions)-1].T + 1}
+}
+
+// GraphDiff is the edge delta between two snapshots.
+type GraphDiff struct {
+	Added   []action.Edge
+	Removed []action.Edge
+}
+
+// Diff returns the edges added and removed between times t1 and t2
+// (t1 ≤ t2), both sides sorted.
+func (tl *Timeline) Diff(t1, t2 action.Time) GraphDiff {
+	g1, g2 := tl.At(t1), tl.At(t2)
+	var d GraphDiff
+	for _, e := range g2.Edges() {
+		if !g1.HasEdge(e) {
+			d.Added = append(d.Added, e)
+		}
+	}
+	for _, e := range g1.Edges() {
+		if !g2.HasEdge(e) {
+			d.Removed = append(d.Removed, e)
+		}
+	}
+	sortEdges(d.Added)
+	sortEdges(d.Removed)
+	return d
+}
+
+func sortEdges(es []action.Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.Dst < b.Dst
+	})
+}

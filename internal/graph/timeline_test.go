@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"testing"
+
+	"wiclean/internal/action"
+)
+
+func transferActions() []action.Action {
+	// Neymar (0): Barcelona (1) -> PSG (2), with a league (3) switch.
+	return []action.Action{
+		{Op: action.Remove, Edge: action.Edge{Src: 0, Label: "current_club", Dst: 1}, T: 100},
+		{Op: action.Add, Edge: action.Edge{Src: 0, Label: "current_club", Dst: 2}, T: 110},
+		{Op: action.Add, Edge: action.Edge{Src: 2, Label: "squad", Dst: 0}, T: 120},
+		{Op: action.Remove, Edge: action.Edge{Src: 1, Label: "squad", Dst: 0}, T: 130},
+		{Op: action.Add, Edge: action.Edge{Src: 0, Label: "in_league", Dst: 3}, T: 140},
+	}
+}
+
+func TestTimelineInitialStateInferred(t *testing.T) {
+	tl := NewTimeline(testRegistry(t), transferActions())
+	init := tl.Initial()
+	// First ops on (0,cc,1) and (1,squad,0) are removes: both pre-existed.
+	if !init.HasEdge(action.Edge{Src: 0, Label: "current_club", Dst: 1}) {
+		t.Error("old club link should pre-exist")
+	}
+	if !init.HasEdge(action.Edge{Src: 1, Label: "squad", Dst: 0}) {
+		t.Error("old squad link should pre-exist")
+	}
+	if init.EdgeCount() != 2 {
+		t.Errorf("initial edges = %d", init.EdgeCount())
+	}
+}
+
+func TestTimelineAt(t *testing.T) {
+	tl := NewTimeline(testRegistry(t), transferActions())
+	// Before anything: initial state.
+	g := tl.At(50)
+	if g.EdgeCount() != 2 {
+		t.Errorf("t=50 edges = %d", g.EdgeCount())
+	}
+	// Mid-transfer: old club link gone, new club present, old squad still
+	// there.
+	g = tl.At(115)
+	if g.HasEdge(action.Edge{Src: 0, Label: "current_club", Dst: 1}) {
+		t.Error("old link should be removed at t=115")
+	}
+	if !g.HasEdge(action.Edge{Src: 0, Label: "current_club", Dst: 2}) {
+		t.Error("new link should exist at t=115")
+	}
+	if !g.HasEdge(action.Edge{Src: 1, Label: "squad", Dst: 0}) {
+		t.Error("old squad link should linger at t=115")
+	}
+	// After everything: consistent final state.
+	g = tl.At(1000)
+	if g.EdgeCount() != 3 { // new cc, new squad, league
+		t.Errorf("final edges = %d: %v", g.EdgeCount(), g.Edges())
+	}
+	// At boundary: inclusive.
+	if !tl.At(140).HasEdge(action.Edge{Src: 0, Label: "in_league", Dst: 3}) {
+		t.Error("At must be inclusive of actions at exactly t")
+	}
+}
+
+func TestTimelineDiff(t *testing.T) {
+	tl := NewTimeline(testRegistry(t), transferActions())
+	d := tl.Diff(50, 1000)
+	if len(d.Added) != 3 || len(d.Removed) != 2 {
+		t.Fatalf("diff = +%v -%v", d.Added, d.Removed)
+	}
+	// Diff of identical instants is empty.
+	d = tl.Diff(115, 115)
+	if len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Fatalf("self diff = %v", d)
+	}
+}
+
+func TestTimelineSpan(t *testing.T) {
+	tl := NewTimeline(testRegistry(t), transferActions())
+	if w := tl.Span(); w.Start != 100 || w.End != 141 {
+		t.Fatalf("Span = %v", w)
+	}
+	empty := NewTimeline(testRegistry(t), nil)
+	if w := empty.Span(); w != (action.Window{}) {
+		t.Fatalf("empty Span = %v", w)
+	}
+	if g := empty.At(10); g.EdgeCount() != 0 {
+		t.Fatal("empty timeline should yield empty graphs")
+	}
+}
+
+func TestTimelineRumorCancels(t *testing.T) {
+	as := []action.Action{
+		{Op: action.Add, Edge: action.Edge{Src: 0, Label: "current_club", Dst: 2}, T: 10},
+		{Op: action.Remove, Edge: action.Edge{Src: 0, Label: "current_club", Dst: 2}, T: 20},
+	}
+	tl := NewTimeline(testRegistry(t), as)
+	if tl.At(15).EdgeCount() != 1 {
+		t.Error("rumor visible mid-window")
+	}
+	if tl.At(25).EdgeCount() != 0 {
+		t.Error("rumor should be reverted")
+	}
+	if tl.Initial().EdgeCount() != 0 {
+		t.Error("first-add edges are not initial")
+	}
+}

@@ -1,0 +1,120 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"wiclean/internal/pattern"
+	"wiclean/internal/relational"
+	"wiclean/internal/taxonomy"
+)
+
+// The paper's §7 names "enriching the expressiveness of the patterns to
+// support value-specific instantiations (e.g., a pattern specific to PSG,
+// but not to football clubs in general)" as future work. This file
+// implements that extension: after mining, each frequent pattern's
+// realization table is scanned for variables dominated by a single entity;
+// such variables are pinned to that constant, yielding a value-specific
+// pattern with its own (necessarily smaller) support.
+
+// ConstantPattern is a mined pattern with one variable pinned to a
+// concrete entity.
+type ConstantPattern struct {
+	Base        pattern.Pattern
+	Var         pattern.VarID     // the pinned variable
+	Entity      taxonomy.EntityID // its constant value
+	Share       float64           // fraction of base realizations using it
+	Frequency   float64           // absolute frequency of the pinned pattern
+	SourceCount int
+}
+
+// Format renders the constant pattern with the entity name.
+func (c ConstantPattern) Format(reg *taxonomy.Registry) string {
+	return fmt.Sprintf("freq %.2f with %s_%d = %q (%.0f%% of realizations): %s",
+		c.Frequency, c.Base.Vars[c.Var], c.Var, reg.Name(c.Entity), 100*c.Share, c.Base)
+}
+
+// SpecializeConstants scans the result's most specific patterns for
+// variables whose realizations are dominated by one entity (at least
+// share of the distinct source assignments) and returns the value-specific
+// instantiations, ordered by frequency. The source variable itself is
+// never pinned — a pattern specific to one seed entity is just that
+// entity's history.
+func SpecializeConstants(res *Result, reg *taxonomy.Registry, share float64) []ConstantPattern {
+	if share <= 0 || share > 1 {
+		share = 0.8
+	}
+	seedSet := make(map[taxonomy.EntityID]bool, len(res.Seeds))
+	for _, s := range res.Seeds {
+		seedSet[s] = true
+	}
+	var out []ConstantPattern
+	for _, sp := range res.Patterns {
+		tbl := sp.Realizations
+		if tbl == nil || tbl.Len() == 0 {
+			continue
+		}
+		srcCol := tbl.ColumnIndex(pattern.VarName(pattern.SourceVar))
+		if srcCol < 0 {
+			srcCol = 0
+		}
+		for v := 1; v < sp.Pattern.NumVars(); v++ {
+			col := tbl.ColumnIndex(pattern.VarName(pattern.VarID(v)))
+			if col < 0 {
+				continue
+			}
+			entity, srcCount, total := dominantValue(tbl, col, srcCol, seedSet)
+			if total == 0 || entity == taxonomy.NoEntity {
+				continue
+			}
+			sh := float64(srcCount) / float64(total)
+			if sh < share {
+				continue
+			}
+			out = append(out, ConstantPattern{
+				Base:        sp.Pattern,
+				Var:         pattern.VarID(v),
+				Entity:      entity,
+				Share:       sh,
+				Frequency:   float64(srcCount) / float64(len(res.Seeds)),
+				SourceCount: srcCount,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Frequency > out[j].Frequency })
+	return out
+}
+
+// dominantValue finds the value of col covering the most distinct seed
+// sources, returning that value, its seed-source count, and the total
+// distinct seed sources of the table.
+func dominantValue(tbl *relational.Table, col, srcCol int, seedSet map[taxonomy.EntityID]bool) (taxonomy.EntityID, int, int) {
+	perValue := map[relational.Value]map[relational.Value]bool{}
+	allSources := map[relational.Value]bool{}
+	for _, row := range tbl.Rows() {
+		src := row[srcCol]
+		if src.IsNull() || !seedSet[taxonomy.EntityID(src)] {
+			continue
+		}
+		allSources[src] = true
+		v := row[col]
+		if v.IsNull() {
+			continue
+		}
+		set := perValue[v]
+		if set == nil {
+			set = map[relational.Value]bool{}
+			perValue[v] = set
+		}
+		set[src] = true
+	}
+	best := taxonomy.NoEntity
+	bestCount := 0
+	for v, set := range perValue {
+		if len(set) > bestCount || (len(set) == bestCount && taxonomy.EntityID(v) < best) {
+			best = taxonomy.EntityID(v)
+			bestCount = len(set)
+		}
+	}
+	return best, bestCount, len(allSources)
+}

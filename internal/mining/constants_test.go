@@ -1,0 +1,109 @@
+package mining
+
+import (
+	"strings"
+	"testing"
+
+	"wiclean/internal/action"
+	"wiclean/internal/dump"
+	"wiclean/internal/taxonomy"
+)
+
+// psgWorld: most transfers point at one club — the PSG-specific pattern of
+// the paper's future-work example.
+func psgWorld(t *testing.T) (*dump.History, []taxonomy.EntityID, *taxonomy.Registry) {
+	t.Helper()
+	x := taxonomy.New()
+	x.AddChain("Person", "Athlete", "FootballPlayer")
+	x.AddChain("Organisation", "FootballClub")
+	reg := taxonomy.NewRegistry(x)
+	var players []taxonomy.EntityID
+	for i := 0; i < 10; i++ {
+		players = append(players, reg.MustAdd("P"+string(rune('A'+i)), "FootballPlayer"))
+	}
+	psg := reg.MustAdd("PSG", "FootballClub")
+	var others []taxonomy.EntityID
+	for i := 0; i < 10; i++ {
+		others = append(others, reg.MustAdd("C"+string(rune('A'+i)), "FootballClub"))
+	}
+	h := dump.NewHistory(reg)
+	for i := 0; i < 9; i++ {
+		dst := psg
+		if i >= 8 { // one player joins a different club
+			dst = others[i]
+		}
+		h.AddActions(
+			action.Action{Op: action.Add, Edge: action.Edge{Src: players[i], Label: "current_club", Dst: dst}, T: action.Time(10 + i)},
+			action.Action{Op: action.Add, Edge: action.Edge{Src: dst, Label: "squad", Dst: players[i]}, T: action.Time(20 + i)},
+		)
+	}
+	return h, players, reg
+}
+
+func TestSpecializeConstantsFindsPSG(t *testing.T) {
+	h, players, reg := psgWorld(t)
+	cfg := PM(0.7)
+	cfg.MaxAbstraction = 0
+	res, err := Mine(h, players, "FootballPlayer", action.Window{Start: 0, End: 100}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consts := SpecializeConstants(res, reg, 0.8)
+	if len(consts) == 0 {
+		t.Fatalf("no constant patterns found; %d base patterns", len(res.Patterns))
+	}
+	top := consts[0]
+	if reg.Name(top.Entity) != "PSG" {
+		t.Fatalf("dominant entity = %q, want PSG", reg.Name(top.Entity))
+	}
+	if top.Share < 0.8 {
+		t.Errorf("share = %.2f", top.Share)
+	}
+	// 8 of 10 seeds realize the PSG-pinned pattern.
+	if top.SourceCount != 8 {
+		t.Errorf("sources = %d, want 8", top.SourceCount)
+	}
+	if top.Frequency != 0.8 {
+		t.Errorf("frequency = %.2f, want 0.8", top.Frequency)
+	}
+	if top.Var == 0 {
+		t.Error("the source variable must never be pinned")
+	}
+	if !strings.Contains(top.Format(reg), "PSG") {
+		t.Error("Format should name the entity")
+	}
+}
+
+func TestSpecializeConstantsRespectsShareThreshold(t *testing.T) {
+	h, players, reg := psgWorld(t)
+	cfg := PM(0.7)
+	cfg.MaxAbstraction = 0
+	res, err := Mine(h, players, "FootballPlayer", action.Window{Start: 0, End: 100}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A higher share threshold must be respected: everything returned has
+	// at least that dominance (the cross-player PSG patterns are fully
+	// dominated, so the list need not be empty).
+	for _, c := range SpecializeConstants(res, reg, 0.95) {
+		if c.Share < 0.95 {
+			t.Fatalf("share %.2f below threshold: %v", c.Share, c.Base)
+		}
+	}
+	// Degenerate share falls back to the default.
+	if got := SpecializeConstants(res, reg, 0); len(got) == 0 {
+		t.Fatal("default share should find PSG")
+	}
+}
+
+func TestSpecializeConstantsNoDominance(t *testing.T) {
+	// Every player joins a distinct club: nothing dominates.
+	f := newFixture(t)
+	res, err := Mine(f.store, f.seeds, "FootballPlayer", f.window, basicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SpecializeConstants(res, f.reg, 0.8); len(got) != 0 {
+		t.Fatalf("no dominance expected, got %v", got)
+	}
+}

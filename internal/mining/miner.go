@@ -1,0 +1,376 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wiclean/internal/action"
+	"wiclean/internal/pattern"
+	"wiclean/internal/relational"
+	"wiclean/internal/taxonomy"
+)
+
+// miner is the per-window mining state of Algorithm 1: the
+// abstract_actions[w] and realizations[w] dictionaries, the tested set, and
+// the growing frequent-pattern store.
+type miner struct {
+	store    Store
+	reg      *taxonomy.Registry
+	tax      *taxonomy.Taxonomy
+	cfg      Config
+	window   action.Window
+	seeds    []taxonomy.EntityID
+	seedSet  map[taxonomy.EntityID]bool
+	seedType taxonomy.Type
+
+	engine relational.Engine
+
+	// abstract_actions[w] with realizations[w][a]: template -> two-column
+	// (src, dst) realization table.
+	templates     map[pattern.Template]*relational.Table
+	templateOrder []pattern.Template // deterministic iteration
+
+	// Frequent patterns with their realization tables, keyed by canonical
+	// form (the realization cache the paper mentions).
+	frequent map[string]*ScoredPattern
+	order    []string // canonical keys in discovery order
+
+	// tested[w]: (pattern canonical, template) pairs already examined.
+	tested map[string]bool
+
+	// Incremental graph construction bookkeeping.
+	extractedEntities map[taxonomy.EntityID]bool
+	processedTypes    map[taxonomy.Type]bool
+
+	stats Stats
+}
+
+// Mine runs Algorithm 1 for one window: it finds the most specific
+// frequent connected patterns w.r.t. seedType over the revision histories
+// in store, starting from the given seed entity set S.
+//
+// Frequency is measured against the seed set (|S| is the denominator and
+// only seed entities count as sources), matching the experimental setup of
+// §6.1 where S is a sample of 100–1K entities of the seed type; pass the
+// full entities(t) as seeds for the paper's Definition 3.2 verbatim.
+func Mine(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w action.Window, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("mining: empty seed set")
+	}
+	reg := store.Registry()
+	if !reg.Taxonomy().Has(seedType) {
+		return nil, fmt.Errorf("mining: unknown seed type %q", seedType)
+	}
+	m := newMiner(store, seeds, seedType, w, cfg)
+
+	pre := time.Now()
+	if cfg.Incremental {
+		// Line 1: extract, reduce and abstract the seed entities' actions.
+		m.extractEntities(seeds)
+	} else {
+		// Non-incremental variants materialize the entire window's edits
+		// graph before mining (the conventional graph-mining input).
+		m.extractAll()
+	}
+	m.stats.Preprocessing = time.Since(pre)
+
+	mine := time.Now()
+	m.seedSingletons()
+	m.grow()
+	m.stats.Mining = time.Since(mine)
+
+	return m.result(), nil
+}
+
+func newMiner(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w action.Window, cfg Config) *miner {
+	m := &miner{
+		store:             store,
+		reg:               store.Registry(),
+		tax:               store.Registry().Taxonomy(),
+		cfg:               cfg,
+		window:            w,
+		seeds:             seeds,
+		seedSet:           make(map[taxonomy.EntityID]bool, len(seeds)),
+		seedType:          seedType,
+		engine:            relational.Engine{Strategy: cfg.Strategy},
+		templates:         map[pattern.Template]*relational.Table{},
+		frequent:          map[string]*ScoredPattern{},
+		tested:            map[string]bool{},
+		extractedEntities: map[taxonomy.EntityID]bool{},
+		processedTypes:    map[taxonomy.Type]bool{},
+	}
+	for _, s := range seeds {
+		m.seedSet[s] = true
+	}
+	m.processedTypes[seedType] = true
+	return m
+}
+
+// extractEntities implements reduced_and_abstract_actions(S, w): pull the
+// revision histories of the given entities within the window, reduce them,
+// and fold each surviving action's abstractions into the template tables.
+func (m *miner) extractEntities(ids []taxonomy.EntityID) {
+	fresh := ids[:0:0]
+	for _, id := range ids {
+		if !m.extractedEntities[id] {
+			m.extractedEntities[id] = true
+			fresh = append(fresh, id)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	raw := m.store.ActionsOf(fresh, m.window)
+	seen := map[taxonomy.EntityID]bool{}
+	for _, a := range raw {
+		seen[a.Edge.Src] = true
+	}
+	m.stats.NodesProcessed += len(seen)
+	m.ingest(raw)
+}
+
+// extractAll materializes the full edits graph of the window.
+func (m *miner) extractAll() {
+	raw := m.store.AllActions(m.window)
+	seen := map[taxonomy.EntityID]bool{}
+	for _, a := range raw {
+		if !seen[a.Edge.Src] {
+			seen[a.Edge.Src] = true
+		}
+		m.extractedEntities[a.Edge.Src] = true
+	}
+	m.stats.NodesProcessed += len(seen)
+	m.ingest(raw)
+}
+
+func (m *miner) ingest(raw []action.Action) {
+	m.stats.ActionsProcessed += len(raw)
+	reduced := action.Reduce(raw)
+	if m.cfg.NoReduce {
+		reduced = raw // ablation: mine over the unreduced log
+	}
+	m.stats.ReducedActions += len(reduced)
+	for _, a := range reduced {
+		for _, tmpl := range pattern.TemplatesOf(a, m.reg, m.cfg.MaxAbstraction) {
+			tbl, ok := m.templates[tmpl]
+			if !ok {
+				tbl = relational.NewTable("src", "dst")
+				m.templates[tmpl] = tbl
+				m.templateOrder = append(m.templateOrder, tmpl)
+			}
+			tbl.Append(relational.Row{relational.Value(a.Edge.Src), relational.Value(a.Edge.Dst)})
+		}
+	}
+}
+
+// seedSingletons implements line 2: singleton patterns whose source type is
+// comparable with the seed type and whose frequency clears the threshold.
+// The incremental variants know, by construction, that only templates with
+// seed-comparable sources can seed a connected pattern; the full-graph
+// variants behave like conventional graph miners and evaluate every single
+// edge of the materialized graph as a candidate — the §6.2 candidate gap.
+func (m *miner) seedSingletons() {
+	for _, tmpl := range m.templateOrder {
+		if !m.tax.Comparable(tmpl.SrcType, m.seedType) {
+			if !m.cfg.Incremental {
+				m.stats.Candidates++ // considered, then rejected by the frequency test
+			}
+			continue
+		}
+		m.stats.Candidates++
+		p := tmpl.AsSingleton()
+		// Realizations of a singleton: the template pairs with distinct
+		// endpoints (distinct variables take distinct entities).
+		tbl := m.templates[tmpl].Select(func(r relational.Row) bool { return r[0] != r[1] })
+		tbl.SetColumnName(0, pattern.VarName(0))
+		tbl.SetColumnName(1, pattern.VarName(1))
+		tbl = tbl.Dedup()
+		m.admit(p, tbl)
+	}
+}
+
+// admit scores a candidate pattern's realization table and stores it if
+// frequent. It reports whether the pattern was admitted.
+func (m *miner) admit(p pattern.Pattern, realizations *relational.Table) bool {
+	key := p.Canonical()
+	if _, ok := m.frequent[key]; ok {
+		return false // realization cache hit: already discovered
+	}
+	count := m.seedSourceCount(realizations)
+	freq := float64(count) / float64(len(m.seeds))
+	if freq < m.cfg.Tau {
+		return false
+	}
+	m.frequent[key] = &ScoredPattern{
+		Pattern:      p,
+		Frequency:    freq,
+		SourceCount:  count,
+		Realizations: realizations,
+	}
+	m.order = append(m.order, key)
+	m.stats.FrequentFound++
+	return true
+}
+
+// seedSourceCount counts the distinct seed entities in the source column —
+// the SQL COUNT(DISTINCT v0) restricted to the seed set.
+func (m *miner) seedSourceCount(tbl *relational.Table) int {
+	col := tbl.ColumnIndex(pattern.VarName(pattern.SourceVar))
+	if col < 0 {
+		col = 0
+	}
+	n := 0
+	for _, v := range tbl.DistinctValues(col) {
+		if m.seedSet[taxonomy.EntityID(v)] {
+			n++
+		}
+	}
+	return n
+}
+
+// grow interleaves graph expansion with pattern expansion (Algorithm 1,
+// lines 4–15): pull the revision histories of newly mentioned types, sweep
+// every untested (pattern, template) pair, repeat until neither step makes
+// progress. Following the paper, previously tested pairs are not re-joined
+// when later type pulls add realizations to a template — the incremental
+// construction "refines the previously derived patterns with the newly
+// added abstract actions, rather than computing frequent patterns from
+// scratch".
+func (m *miner) grow() {
+	for {
+		pulled := false
+		if m.cfg.Incremental {
+			pulled = m.pullNewTypes()
+			if pulled {
+				m.stats.TypeExpansions++
+			}
+		}
+		admitted := m.expandOnce()
+		if !admitted && !pulled {
+			return
+		}
+	}
+}
+
+// pullNewTypes extracts the revision histories of every entity of each type
+// newly mentioned by a frequent pattern (lines 5–8). It reports whether
+// anything was pulled.
+func (m *miner) pullNewTypes() bool {
+	var newTypes []taxonomy.Type
+	for _, key := range m.order {
+		for _, t := range m.frequent[key].Pattern.TypeSet() {
+			if !m.processedTypes[t] {
+				m.processedTypes[t] = true
+				newTypes = append(newTypes, t)
+			}
+		}
+	}
+	if len(newTypes) == 0 {
+		return false
+	}
+	sort.Slice(newTypes, func(i, j int) bool { return newTypes[i] < newTypes[j] })
+	for _, t := range newTypes {
+		m.extractEntities(m.reg.EntitiesOf(t))
+	}
+	return true
+}
+
+// expandOnce sweeps all untested (pattern, template) pairs once (lines
+// 9–14). It reports whether any new frequent pattern was admitted.
+func (m *miner) expandOnce() bool {
+	admitted := false
+	// Iterate over a snapshot of the current pattern keys; newly admitted
+	// patterns join subsequent sweeps via the outer loop in grow.
+	for i := 0; i < len(m.order); i++ {
+		key := m.order[i]
+		sp := m.frequent[key]
+		if sp.Pattern.Size() >= m.cfg.MaxActions {
+			continue
+		}
+		for _, tmpl := range m.templateOrder {
+			pairKey := key + "⊕" + tmpl.String()
+			if m.tested[pairKey] {
+				continue
+			}
+			m.tested[pairKey] = true
+			// Each tested (pattern, abstract action) pair is one considered
+			// candidate — the metric of the §6.2 small-data experiment. The
+			// full-graph variants accumulate far more of these because
+			// abstract_actions[w] holds every template in the materialized
+			// graph, relevant or not.
+			m.stats.Candidates++
+			for _, ext := range sp.Pattern.Extensions(tmpl) {
+				tbl := m.extend(sp, tmpl, ext)
+				if m.admit(ext.Pattern, tbl) {
+					admitted = true
+				}
+			}
+		}
+	}
+	return admitted
+}
+
+// extend computes realizations[w][p'] from realizations[w][p] and
+// realizations[w][a] with the join query of §4.2: equijoin on glued
+// variables, inequality against all collidable columns for a fresh
+// variable, projection to one column per pattern variable.
+func (m *miner) extend(sp *ScoredPattern, tmpl pattern.Template, ext pattern.Extension) *relational.Table {
+	l := sp.Realizations
+	r := m.templates[tmpl]
+	spec := relational.JoinSpec{
+		EqL: []int{int(ext.SrcVar)},
+		EqR: []int{0},
+	}
+	if !ext.NewVar {
+		spec.EqL = append(spec.EqL, int(ext.DstVar))
+		spec.EqR = append(spec.EqR, 1)
+	} else {
+		for _, v := range sp.Pattern.CollidableVars(m.tax, tmpl.DstType, -1) {
+			spec.NeqL = append(spec.NeqL, int(v))
+			spec.NeqR = append(spec.NeqR, 1)
+		}
+	}
+	for i := 0; i < l.Arity(); i++ {
+		spec.LOut = append(spec.LOut, i)
+	}
+	if ext.NewVar {
+		spec.ROut = []int{1}
+	}
+	out := m.engine.Join(l, r, spec)
+	if ext.NewVar {
+		out.SetColumnName(out.Arity()-1, pattern.VarName(ext.DstVar))
+	}
+	out = out.Dedup()
+	m.stats.Join = m.engine.Stats
+	return out
+}
+
+func (m *miner) result() *Result {
+	res := &Result{
+		SeedType: m.seedType,
+		Seeds:    m.seeds,
+		SeedSize: len(m.seeds),
+		Window:   m.window,
+		Stats:    m.stats,
+	}
+	res.Stats.Join = m.engine.Stats
+	all := make([]pattern.Pattern, 0, len(m.order))
+	for _, key := range m.order {
+		sp := m.frequent[key]
+		res.AllFrequent = append(res.AllFrequent, *sp)
+		all = append(all, sp.Pattern)
+	}
+	// Line 16: keep the most specific patterns.
+	for _, p := range pattern.MostSpecific(all, m.tax) {
+		if sp, ok := m.frequent[p.Canonical()]; ok {
+			res.Patterns = append(res.Patterns, *sp)
+		}
+	}
+	sortScored(res.Patterns)
+	sortScored(res.AllFrequent)
+	return res
+}

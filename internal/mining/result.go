@@ -1,0 +1,120 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"wiclean/internal/action"
+	"wiclean/internal/pattern"
+	"wiclean/internal/relational"
+	"wiclean/internal/taxonomy"
+)
+
+// Store is the revision-history access interface the miner consumes;
+// dump.History implements it. ActionsOf is the incremental path (histories
+// of chosen entities only); AllActions is the full-materialization path of
+// the non-incremental variants.
+type Store interface {
+	Registry() *taxonomy.Registry
+	ActionsOf(ids []taxonomy.EntityID, w action.Window) []action.Action
+	AllActions(w action.Window) []action.Action
+}
+
+// ScoredPattern is a mined pattern with its support evidence.
+type ScoredPattern struct {
+	Pattern      pattern.Pattern
+	Frequency    float64 // fraction of the seed set covered (Definition 3.2)
+	SourceCount  int     // distinct seed entities appearing as source
+	Realizations *relational.Table
+}
+
+// String renders the pattern with its score.
+func (s ScoredPattern) String() string {
+	return fmt.Sprintf("%.2f %s", s.Frequency, s.Pattern)
+}
+
+// Stats records the work one mining run performed. Candidates is the
+// §6.2 small-data metric ("the number of considered pattern candidates");
+// NodesProcessed is the parenthesized node count of Figure 4.
+type Stats struct {
+	Candidates       int // singleton + extension patterns evaluated
+	FrequentFound    int // patterns that passed the threshold
+	NodesProcessed   int // entities whose revision histories were pulled
+	ActionsProcessed int // raw actions extracted
+	ReducedActions   int // actions surviving reduction
+	TypeExpansions   int // outer-loop iterations that pulled new types
+	Join             relational.Stats
+	Preprocessing    time.Duration // history extraction + reduction
+	Mining           time.Duration // pattern growth + frequency tests
+}
+
+// Add accumulates o into s (durations included), for aggregating windows.
+func (s *Stats) Add(o Stats) {
+	s.Candidates += o.Candidates
+	s.FrequentFound += o.FrequentFound
+	s.NodesProcessed += o.NodesProcessed
+	s.ActionsProcessed += o.ActionsProcessed
+	s.ReducedActions += o.ReducedActions
+	s.TypeExpansions += o.TypeExpansions
+	s.Join.Add(o.Join)
+	s.Preprocessing += o.Preprocessing
+	s.Mining += o.Mining
+}
+
+// Result is the outcome of mining one window.
+type Result struct {
+	SeedType taxonomy.Type
+	Seeds    []taxonomy.EntityID
+	SeedSize int
+	Window   action.Window
+
+	// Patterns are the most specific frequent patterns (Definition 3.3),
+	// sorted by descending frequency then by notation.
+	Patterns []ScoredPattern
+
+	// AllFrequent keeps every frequent pattern discovered, including
+	// non-most-specific ones — the paper keeps them because "such general
+	// patterns may still be useful in later iterations" and the relative
+	// stage expands them further.
+	AllFrequent []ScoredPattern
+
+	Stats Stats
+}
+
+// Find returns the scored entry for a pattern isomorphic to p, if any.
+func (r *Result) Find(p pattern.Pattern) (ScoredPattern, bool) {
+	key := p.Canonical()
+	for _, sp := range r.AllFrequent {
+		if sp.Pattern.Canonical() == key {
+			return sp, true
+		}
+	}
+	return ScoredPattern{}, false
+}
+
+// sortScored orders patterns by descending frequency, then larger patterns
+// first, then notation, for stable human-readable output.
+func sortScored(ps []ScoredPattern) {
+	sort.SliceStable(ps, func(i, j int) bool {
+		if ps[i].Frequency != ps[j].Frequency {
+			return ps[i].Frequency > ps[j].Frequency
+		}
+		if ps[i].Pattern.Size() != ps[j].Pattern.Size() {
+			return ps[i].Pattern.Size() > ps[j].Pattern.Size()
+		}
+		return ps[i].Pattern.String() < ps[j].Pattern.String()
+	})
+}
+
+// Format renders the result as a report block.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "window %v, seed type %s (%d entities): %d most-specific frequent patterns\n",
+		r.Window, r.SeedType, r.SeedSize, len(r.Patterns))
+	for _, sp := range r.Patterns {
+		fmt.Fprintf(&b, "  freq %.2f (%d sources) %s\n", sp.Frequency, sp.SourceCount, sp.Pattern)
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical returns a string key identifying the pattern up to isomorphism
+// on variable names of the same type (§3: "two patterns are identical if
+// they are the same up to isomorphism on the variable names of the same
+// type"), with the distinguished source variable pinned — renamings must
+// map source to source, since frequency is measured against it.
+//
+// The key is the lexicographically minimal serialization over all
+// type-preserving, source-pinning permutations of the variables. Patterns
+// are small (the miner bounds actions per pattern), so enumerating the
+// permutations of each same-type variable group is cheap; a safety cap
+// falls back to a deterministic greedy labeling for adversarial inputs,
+// which may distinguish isomorphic patterns but never conflates distinct
+// ones.
+func (p Pattern) Canonical() string {
+	n := len(p.Vars)
+	if n == 0 {
+		return "[]"
+	}
+	// Group variables (excluding the pinned source) by type.
+	groups := map[string][]int{}
+	for i := 1; i < n; i++ {
+		k := string(p.Vars[i])
+		groups[k] = append(groups[k], i)
+	}
+	// Count permutations; cap to keep worst cases bounded.
+	perms := 1
+	for _, g := range groups {
+		f := 1
+		for i := 2; i <= len(g); i++ {
+			f *= i
+		}
+		perms *= f
+		if perms > 50000 {
+			return p.greedyKey()
+		}
+	}
+
+	best := ""
+	relabel := make([]VarID, n)
+	relabel[0] = 0
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Assign each type group a canonical label range (groups ordered by
+	// type name, labels 1..n-1 in sequence). Labels must not depend on
+	// where a variable happened to sit in the original pattern — two
+	// isomorphic patterns can hold their FootballClub variable at
+	// different indices, and index-derived labels would tell them apart.
+	groupBase := make([]int, len(keys))
+	next := 1
+	for i, k := range keys {
+		groupBase[i] = next
+		next += len(groups[k])
+	}
+
+	var rec func(gi int)
+	rec = func(gi int) {
+		if gi == len(keys) {
+			s := p.serializeWith(relabel)
+			if best == "" || s < best {
+				best = s
+			}
+			return
+		}
+		g := groups[keys[gi]]
+		base := groupBase[gi]
+		permute(g, func(perm []int) {
+			// perm[j] is the original index receiving the group's j-th
+			// canonical label.
+			for j, orig := range perm {
+				relabel[orig] = VarID(base + j)
+			}
+			rec(gi + 1)
+		})
+	}
+	rec(0)
+	return best
+}
+
+// serializeWith renders the pattern with variables renamed via relabel and
+// actions sorted, producing a comparable serialization.
+func (p Pattern) serializeWith(relabel []VarID) string {
+	lines := make([]string, len(p.Actions))
+	for i, a := range p.Actions {
+		lines[i] = fmt.Sprintf("%s|%s:%d|%s|%s:%d",
+			a.Op, p.Vars[a.Src], relabel[a.Src], a.Label, p.Vars[a.Dst], relabel[a.Dst])
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ";")
+}
+
+// greedyKey is a deterministic fallback labeling by (type, degree
+// signature) refinement; ties broken by original index.
+func (p Pattern) greedyKey() string {
+	n := len(p.Vars)
+	sig := make([]string, n)
+	for i := 0; i < n; i++ {
+		var outs, ins []string
+		for _, a := range p.Actions {
+			if int(a.Src) == i {
+				outs = append(outs, fmt.Sprintf("%s%s>%s", a.Op, a.Label, p.Vars[a.Dst]))
+			}
+			if int(a.Dst) == i {
+				ins = append(ins, fmt.Sprintf("%s%s<%s", a.Op, a.Label, p.Vars[a.Src]))
+			}
+		}
+		sort.Strings(outs)
+		sort.Strings(ins)
+		sig[i] = string(p.Vars[i]) + "/" + strings.Join(outs, ",") + "/" + strings.Join(ins, ",")
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order[1:], func(a, b int) bool { return sig[order[a+1]] < sig[order[b+1]] })
+	relabel := make([]VarID, n)
+	for rank, orig := range order {
+		relabel[orig] = VarID(rank)
+	}
+	return "~" + p.serializeWith(relabel)
+}
+
+// permute calls f with every permutation of a copy of xs. The slice passed
+// to f must not be retained.
+func permute(xs []int, f func([]int)) {
+	buf := make([]int, len(xs))
+	copy(buf, xs)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(buf) {
+			f(buf)
+			return
+		}
+		for i := k; i < len(buf); i++ {
+			buf[k], buf[i] = buf[i], buf[k]
+			rec(k + 1)
+			buf[k], buf[i] = buf[i], buf[k]
+		}
+	}
+	rec(0)
+}
+
+// Equal reports pattern identity up to same-type variable isomorphism with
+// pinned source.
+func (p Pattern) Equal(q Pattern) bool {
+	if len(p.Vars) != len(q.Vars) || len(p.Actions) != len(q.Actions) {
+		return false
+	}
+	return p.Canonical() == q.Canonical()
+}

@@ -1,0 +1,31 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the pattern's abstract graph g_p in Graphviz DOT format —
+// the visualization of Figure 2: one node per type variable (the
+// distinguished source double-circled), one labeled edge per abstract
+// action, "[+ label]" / "[- label]" as in the paper.
+func (p Pattern) Dot(name string) string {
+	var b strings.Builder
+	if name == "" {
+		name = "pattern"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	for i, t := range p.Vars {
+		shape := "ellipse"
+		if VarID(i) == SourceVar {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  v%d [label=%q, shape=%s];\n", i, fmt.Sprintf("%s_%d", t, i), shape)
+	}
+	for _, a := range p.Actions {
+		fmt.Fprintf(&b, "  v%d -> v%d [label=%q];\n", a.Src, a.Dst, fmt.Sprintf("[%s, %s]", a.Op, a.Label))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,40 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"wiclean/internal/action"
+)
+
+func TestDotRendersFigure2Shape(t *testing.T) {
+	p := transferPattern()
+	dot := p.Dot("transfer")
+	for _, want := range []string{
+		"digraph \"transfer\"",
+		"doublecircle",      // the distinguished source
+		"FootballPlayer_0",  // typed variable labels
+		"[+, current_club]", // op-labeled edges
+		"v0 -> v1",          // player -> new club
+		"v1 -> v0",          // club -> player squad edge
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot missing %q:\n%s", want, dot)
+		}
+	}
+	// Exactly one double circle (the source).
+	if strings.Count(dot, "doublecircle") != 1 {
+		t.Error("exactly one source node expected")
+	}
+	// One edge line per action.
+	if strings.Count(dot, "->") != len(p.Actions) {
+		t.Errorf("edges = %d, want %d", strings.Count(dot, "->"), len(p.Actions))
+	}
+}
+
+func TestDotDefaultName(t *testing.T) {
+	p := Singleton(action.Add, "A", "l", "B")
+	if !strings.Contains(p.Dot(""), "digraph \"pattern\"") {
+		t.Error("default name missing")
+	}
+}

@@ -1,0 +1,104 @@
+package plugin
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Client is the extension-side API client for a WiClean plugin server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8754".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.http().Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("plugin: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(path, resp, out)
+}
+
+func decodeResponse(path string, resp *http.Response, out any) error {
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return fmt.Errorf("plugin: %s: %s", path, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("plugin: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Patterns fetches the mined patterns.
+func (c *Client) Patterns() ([]PatternInfo, error) {
+	var out []PatternInfo
+	err := c.get("/patterns", &out)
+	return out, err
+}
+
+// Errors fetches the signaled potential errors.
+func (c *Client) Errors() ([]ErrorInfo, error) {
+	var out []ErrorInfo
+	err := c.get("/errors", &out)
+	return out, err
+}
+
+// Periodic fetches the periodically recurring patterns.
+func (c *Client) Periodic() ([]PeriodicInfo, error) {
+	var out []PeriodicInfo
+	err := c.get("/periodic", &out)
+	return out, err
+}
+
+// Suggest posts a live edit and returns the assistant's advice.
+func (c *Client) Suggest(req SuggestRequest) ([]AdviceInfo, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("plugin: encoding request: %w", err)
+	}
+	resp, err := c.http().Post(c.BaseURL+"/suggest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("plugin: POST /suggest: %w", err)
+	}
+	defer resp.Body.Close()
+	var out []AdviceInfo
+	if err := decodeResponse("/suggest", resp, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Healthy reports whether the server responds on /healthz.
+func (c *Client) Healthy() bool {
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.get("/healthz", &out); err != nil {
+		return false
+	}
+	return out.OK
+}

@@ -1,0 +1,220 @@
+// Package plugin implements the WiClean browser-plug-in contract: an HTTP
+// server exposing the mined patterns, the signaled errors, the periodic
+// windows and the live-edit suggestion endpoint — and a typed client for
+// the extension side. The paper ships WiClean "as a web browser extension,
+// with backend in Python"; this is that backend's API surface.
+package plugin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"wiclean/internal/action"
+	"wiclean/internal/assist"
+	"wiclean/internal/core"
+	"wiclean/internal/detect"
+	"wiclean/internal/taxonomy"
+)
+
+// PatternInfo is one mined pattern as served to the extension.
+type PatternInfo struct {
+	Pattern     string  `json:"pattern"`
+	Dot         string  `json:"dot"` // Graphviz rendering of g_p (Figure 2)
+	Frequency   float64 `json:"frequency"`
+	SourceCount int     `json:"source_count"`
+	WindowStart int64   `json:"window_start"`
+	WindowEnd   int64   `json:"window_end"`
+	WidthDays   int64   `json:"width_days"`
+	Tau         float64 `json:"tau"`
+}
+
+// ErrorInfo is one signaled potential error.
+type ErrorInfo struct {
+	Pattern     string   `json:"pattern"`
+	WindowStart int64    `json:"window_start"`
+	WindowEnd   int64    `json:"window_end"`
+	Subject     string   `json:"subject"`
+	Suggestions []string `json:"suggestions"`
+	FullCount   int      `json:"full_realizations"`
+}
+
+// PeriodicInfo is one periodically recurring pattern.
+type PeriodicInfo struct {
+	Pattern     string `json:"pattern"`
+	PeriodDays  int64  `json:"period_days"`
+	Occurrences int    `json:"occurrences"`
+	NextStart   int64  `json:"next_window_start"`
+}
+
+// SuggestRequest is the live-edit description posted to /suggest.
+type SuggestRequest struct {
+	Subject string `json:"subject"`
+	Op      string `json:"op"` // "+" or "-"
+	Label   string `json:"label"`
+	Object  string `json:"object"`
+	At      int64  `json:"at"`
+}
+
+// AdviceInfo is the assistant's response for one matching pattern.
+type AdviceInfo struct {
+	Pattern   string   `json:"pattern"`
+	Frequency float64  `json:"frequency"`
+	Done      []string `json:"already_done"`
+	Missing   []string `json:"suggested"`
+}
+
+// Server serves a mined WiClean system over HTTP.
+type Server struct {
+	sys       *core.System
+	reg       *taxonomy.Registry
+	assistant *assist.Assistant
+	reports   []*detect.Report
+}
+
+// NewServer wraps a system whose Mine stage has already run; it eagerly
+// computes the error reports and the assistant.
+func NewServer(sys *core.System, workers int) (*Server, error) {
+	if sys.Outcome() == nil {
+		return nil, fmt.Errorf("plugin: NewServer requires a mined system")
+	}
+	reports, err := sys.DetectErrors(workers)
+	if err != nil {
+		return nil, err
+	}
+	assistant, err := sys.Assistant()
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		sys:       sys,
+		reg:       sys.Registry(),
+		assistant: assistant,
+		reports:   reports,
+	}, nil
+}
+
+// Handler returns the HTTP mux with every plugin endpoint mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /patterns", s.handlePatterns)
+	mux.HandleFunc("GET /errors", s.handleErrors)
+	mux.HandleFunc("GET /periodic", s.handlePeriodic)
+	mux.HandleFunc("POST /suggest", s.handleSuggest)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"ok": true, "patterns": len(s.sys.Outcome().Discovered)})
+}
+
+func (s *Server) handlePatterns(w http.ResponseWriter, _ *http.Request) {
+	o := s.sys.Outcome()
+	out := make([]PatternInfo, 0, len(o.Discovered))
+	for i, d := range o.Discovered {
+		out = append(out, PatternInfo{
+			Pattern:     d.Pattern.String(),
+			Dot:         d.Pattern.Dot(fmt.Sprintf("p%d", i)),
+			Frequency:   d.Frequency,
+			SourceCount: d.SourceCount,
+			WindowStart: int64(d.Window.Start),
+			WindowEnd:   int64(d.Window.End),
+			WidthDays:   int64(d.Width / action.Day),
+			Tau:         d.Tau,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleErrors(w http.ResponseWriter, _ *http.Request) {
+	out := make([]ErrorInfo, 0, 64)
+	for _, rep := range s.reports {
+		if rep == nil {
+			continue
+		}
+		for _, pe := range rep.Partials {
+			e := ErrorInfo{
+				Pattern:     rep.Pattern.String(),
+				WindowStart: int64(rep.Window.Start),
+				WindowEnd:   int64(rep.Window.End),
+				Subject:     s.reg.Name(pe.Subject()),
+				FullCount:   rep.FullCount,
+			}
+			for _, sg := range pe.Suggestions {
+				e.Suggestions = append(e.Suggestions, sg.Format(s.reg))
+			}
+			out = append(out, e)
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handlePeriodic(w http.ResponseWriter, _ *http.Request) {
+	ps, err := s.sys.PeriodicPatterns(0.35)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "periodic: %v", err)
+		return
+	}
+	out := make([]PeriodicInfo, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, PeriodicInfo{
+			Pattern:     p.Pattern.String(),
+			PeriodDays:  int64(p.Period / action.Day),
+			Occurrences: len(p.Occurrences),
+			NextStart:   int64(p.Next.Start),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	var req SuggestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	src, ok := s.reg.Lookup(req.Subject)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown subject %q", req.Subject)
+		return
+	}
+	dst, ok := s.reg.Lookup(req.Object)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown object %q", req.Object)
+		return
+	}
+	op := action.Add
+	if req.Op == "-" {
+		op = action.Remove
+	}
+	edit := action.Action{
+		Op:   op,
+		Edge: action.Edge{Src: src, Label: action.Label(req.Label), Dst: dst},
+		T:    action.Time(req.At),
+	}
+	advices := s.assistant.Suggest(edit, edit.T)
+	out := make([]AdviceInfo, 0, len(advices))
+	for _, a := range advices {
+		ai := AdviceInfo{Pattern: a.Pattern.String(), Frequency: a.Frequency}
+		for _, sg := range a.Done {
+			ai.Done = append(ai.Done, sg.Format(s.reg))
+		}
+		for _, sg := range a.Missing {
+			ai.Missing = append(ai.Missing, sg.Format(s.reg))
+		}
+		out = append(out, ai)
+	}
+	writeJSON(w, out)
+}

@@ -1,0 +1,353 @@
+package relational
+
+import (
+	"fmt"
+)
+
+// JoinSpec describes an equijoin with residual inequality predicates, the
+// exact query shape Algorithm 1 issues to grow a pattern realization table
+// with one more abstract action:
+//
+//   - EqL[i] == EqR[i] pairs are the "glued" pattern/action variables
+//     (equijoin on the corresponding attributes);
+//   - NeqL[i] != NeqR[i] pairs enforce that a freshly introduced variable is
+//     assigned a different entity than every existing same-type variable
+//     ("we require inequality to all same type attributes", §4.2);
+//   - LOut/ROut select the output columns ("project a single column for each
+//     pattern attribute").
+//
+// Null semantics: an equality involving a null never matches (SQL), so rows
+// with null join keys fall to the unmatched side of outer joins. An
+// inequality involving a null is satisfied — a missing assignment cannot
+// collide with anything, which is what partial-realization detection needs.
+type JoinSpec struct {
+	EqL, EqR   []int
+	NeqL, NeqR []int
+	LOut, ROut []int
+}
+
+// Validate checks the spec against the two input schemas.
+func (s JoinSpec) Validate(l, r *Table) error {
+	if len(s.EqL) != len(s.EqR) {
+		return fmt.Errorf("relational: EqL/EqR length mismatch")
+	}
+	if len(s.NeqL) != len(s.NeqR) {
+		return fmt.Errorf("relational: NeqL/NeqR length mismatch")
+	}
+	check := func(idx []int, arity int, what string) error {
+		for _, i := range idx {
+			if i < 0 || i >= arity {
+				return fmt.Errorf("relational: %s column %d out of range (arity %d)", what, i, arity)
+			}
+		}
+		return nil
+	}
+	if err := check(s.EqL, l.Arity(), "EqL"); err != nil {
+		return err
+	}
+	if err := check(s.NeqL, l.Arity(), "NeqL"); err != nil {
+		return err
+	}
+	if err := check(s.LOut, l.Arity(), "LOut"); err != nil {
+		return err
+	}
+	if err := check(s.EqR, r.Arity(), "EqR"); err != nil {
+		return err
+	}
+	if err := check(s.NeqR, r.Arity(), "NeqR"); err != nil {
+		return err
+	}
+	return check(s.ROut, r.Arity(), "ROut")
+}
+
+func (s JoinSpec) outSchema(l, r *Table) []string {
+	cols := make([]string, 0, len(s.LOut)+len(s.ROut))
+	for _, i := range s.LOut {
+		cols = append(cols, l.cols[i])
+	}
+	for _, i := range s.ROut {
+		cols = append(cols, r.cols[i])
+	}
+	return cols
+}
+
+func (s JoinSpec) emit(lr, rr Row) Row {
+	out := make(Row, 0, len(s.LOut)+len(s.ROut))
+	for _, i := range s.LOut {
+		out = append(out, lr[i])
+	}
+	for _, i := range s.ROut {
+		out = append(out, rr[i])
+	}
+	return out
+}
+
+// matches evaluates the residual inequality predicates.
+func (s JoinSpec) neqOK(lr, rr Row) bool {
+	for k := range s.NeqL {
+		lv, rv := lr[s.NeqL[k]], rr[s.NeqR[k]]
+		if !lv.IsNull() && !rv.IsNull() && lv == rv {
+			return false
+		}
+	}
+	return true
+}
+
+// eqOK evaluates the equality predicates directly (nested-loop path).
+func (s JoinSpec) eqOK(lr, rr Row) bool {
+	for k := range s.EqL {
+		lv, rv := lr[s.EqL[k]], rr[s.EqR[k]]
+		if lv.IsNull() || rv.IsNull() || lv != rv {
+			return false
+		}
+	}
+	return true
+}
+
+// hashKey folds the join-key columns into an FNV-1a hash. Collisions are
+// possible, so probes must re-verify equality with eqOK; null keys report
+// false (they can never match). Avoiding string keys keeps the build side
+// allocation-free — the joins here run on many small realization tables,
+// where per-row formatting would dominate.
+func hashKey(r Row, idx []int) (uint64, bool) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, i := range idx {
+		v := r[i]
+		if v.IsNull() {
+			return 0, false
+		}
+		u := uint32(v)
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(u >> shift))
+			h *= prime64
+		}
+	}
+	return h, true
+}
+
+// Strategy selects the physical join implementation.
+type Strategy int
+
+// Execution strategies. HashStrategy is WC's optimized engine path;
+// NestedLoop is the "conventional main memory nested loop" the PM−join
+// ablation of §6.1 falls back to.
+const (
+	HashStrategy Strategy = iota
+	NestedLoop
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case HashStrategy:
+		return "hash"
+	case NestedLoop:
+		return "nested-loop"
+	case SortMerge:
+		return "sort-merge"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Stats accumulates the work an Engine performed, for the running-time
+// ablations (rows compared is the honest cost proxy across strategies).
+type Stats struct {
+	Joins       int
+	OuterJoins  int
+	RowsOut     int64
+	Comparisons int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Joins += o.Joins
+	s.OuterJoins += o.OuterJoins
+	s.RowsOut += o.RowsOut
+	s.Comparisons += o.Comparisons
+}
+
+// Engine executes joins with a chosen strategy and records Stats. The zero
+// value is a hash-join engine.
+type Engine struct {
+	Strategy Strategy
+	Stats    Stats
+}
+
+// Join computes the inner join of l and r under spec. It panics on an
+// invalid spec (programming error).
+func (e *Engine) Join(l, r *Table, spec JoinSpec) *Table {
+	if err := spec.Validate(l, r); err != nil {
+		panic(err)
+	}
+	e.Stats.Joins++
+	var out *Table
+	switch e.Strategy {
+	case NestedLoop:
+		out = e.nestedLoopJoin(l, r, spec)
+	case SortMerge:
+		out = e.sortMergeJoin(l, r, spec)
+	default:
+		out = e.hashJoin(l, r, spec)
+	}
+	e.Stats.RowsOut += int64(out.Len())
+	return out
+}
+
+func (e *Engine) hashJoin(l, r *Table, spec JoinSpec) *Table {
+	out := NewTable(spec.outSchema(l, r)...)
+	if len(spec.EqL) == 0 {
+		// Degenerate cross join with residual predicates.
+		for _, lr := range l.rows {
+			for _, rr := range r.rows {
+				e.Stats.Comparisons++
+				if spec.neqOK(lr, rr) {
+					out.rows = append(out.rows, spec.emit(lr, rr))
+				}
+			}
+		}
+		return out
+	}
+	// Build on the smaller side. Probes re-verify equality because keys
+	// are hashes, not exact encodings.
+	if l.Len() <= r.Len() {
+		idx := make(map[uint64][]Row, l.Len())
+		for _, lr := range l.rows {
+			if k, ok := hashKey(lr, spec.EqL); ok {
+				idx[k] = append(idx[k], lr)
+			}
+		}
+		for _, rr := range r.rows {
+			k, ok := hashKey(rr, spec.EqR)
+			if !ok {
+				continue
+			}
+			for _, lr := range idx[k] {
+				e.Stats.Comparisons++
+				if spec.eqOK(lr, rr) && spec.neqOK(lr, rr) {
+					out.rows = append(out.rows, spec.emit(lr, rr))
+				}
+			}
+		}
+	} else {
+		idx := make(map[uint64][]Row, r.Len())
+		for _, rr := range r.rows {
+			if k, ok := hashKey(rr, spec.EqR); ok {
+				idx[k] = append(idx[k], rr)
+			}
+		}
+		for _, lr := range l.rows {
+			k, ok := hashKey(lr, spec.EqL)
+			if !ok {
+				continue
+			}
+			for _, rr := range idx[k] {
+				e.Stats.Comparisons++
+				if spec.eqOK(lr, rr) && spec.neqOK(lr, rr) {
+					out.rows = append(out.rows, spec.emit(lr, rr))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (e *Engine) nestedLoopJoin(l, r *Table, spec JoinSpec) *Table {
+	out := NewTable(spec.outSchema(l, r)...)
+	for _, lr := range l.rows {
+		for _, rr := range r.rows {
+			e.Stats.Comparisons++
+			if spec.eqOK(lr, rr) && spec.neqOK(lr, rr) {
+				out.rows = append(out.rows, spec.emit(lr, rr))
+			}
+		}
+	}
+	return out
+}
+
+// FullOuterJoin computes the full outer join of l and r under spec — the
+// operator Algorithm 3 substitutes for the realization-growing join so that
+// partial pattern occurrences surface as null-padded tuples (§5):
+//
+//   - matching (lr, rr) pairs are emitted as in Join;
+//   - an l row with no match is emitted with r's output columns null-padded,
+//     except columns that are join keys shared with l, which are coalesced
+//     from l;
+//   - an r row with no match is emitted symmetrically.
+//
+// The coalescing of shared key columns keeps every known variable
+// assignment visible in the output so the detector can name exactly which
+// action is missing.
+func (e *Engine) FullOuterJoin(l, r *Table, spec JoinSpec) *Table {
+	if err := spec.Validate(l, r); err != nil {
+		panic(err)
+	}
+	e.Stats.OuterJoins++
+	out := NewTable(spec.outSchema(l, r)...)
+
+	lMatched := make([]bool, l.Len())
+	rMatched := make([]bool, r.Len())
+
+	idx := make(map[uint64][]int, r.Len())
+	for j, rr := range r.rows {
+		if k, ok := hashKey(rr, spec.EqR); ok {
+			idx[k] = append(idx[k], j)
+		}
+	}
+	for i, lr := range l.rows {
+		if k, ok := hashKey(lr, spec.EqL); ok {
+			for _, j := range idx[k] {
+				rr := r.rows[j]
+				e.Stats.Comparisons++
+				if spec.eqOK(lr, rr) && spec.neqOK(lr, rr) {
+					lMatched[i] = true
+					rMatched[j] = true
+					out.rows = append(out.rows, spec.emit(lr, rr))
+				}
+			}
+		}
+	}
+
+	// Coalesce maps: for an unmatched l row, which r output columns can be
+	// filled from l (shared join keys), and vice versa.
+	rFromL := map[int]int{} // r column -> l column
+	lFromR := map[int]int{} // l column -> r column
+	for k := range spec.EqL {
+		rFromL[spec.EqR[k]] = spec.EqL[k]
+		lFromR[spec.EqL[k]] = spec.EqR[k]
+	}
+
+	nullRowR := make(Row, r.Arity())
+	for i, lr := range l.rows {
+		if lMatched[i] {
+			continue
+		}
+		rr := nullRowR.Clone()
+		for j := range rr {
+			rr[j] = Null
+			if li, ok := rFromL[j]; ok {
+				rr[j] = lr[li]
+			}
+		}
+		out.rows = append(out.rows, spec.emit(lr, rr))
+	}
+	nullRowL := make(Row, l.Arity())
+	for j, rr := range r.rows {
+		if rMatched[j] {
+			continue
+		}
+		lr := nullRowL.Clone()
+		for i := range lr {
+			lr[i] = Null
+			if ri, ok := lFromR[i]; ok {
+				lr[i] = rr[ri]
+			}
+		}
+		out.rows = append(out.rows, spec.emit(lr, rr))
+	}
+	e.Stats.RowsOut += int64(out.Len())
+	return out
+}

@@ -1,0 +1,109 @@
+package relational
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// genTable builds a table from quick-generated raw values.
+func genTable(cols []string, vals []uint16, domain int) *Table {
+	t := NewTable(cols...)
+	arity := len(cols)
+	for i := 0; i+arity <= len(vals); i += arity {
+		row := make(Row, arity)
+		for j := 0; j < arity; j++ {
+			row[j] = Value(int(vals[i+j]) % domain)
+		}
+		t.Append(row)
+	}
+	return t
+}
+
+// Property: hash join and nested-loop join agree on arbitrary inputs.
+func TestJoinStrategiesAgreeProperty(t *testing.T) {
+	f := func(lv, rv []uint16) bool {
+		l := genTable([]string{"a", "b"}, lv, 7)
+		r := genTable([]string{"c", "d"}, rv, 7)
+		spec := JoinSpec{
+			EqL: []int{0}, EqR: []int{0},
+			NeqL: []int{1}, NeqR: []int{1},
+			LOut: []int{0, 1}, ROut: []int{1},
+		}
+		h := (&Engine{Strategy: HashStrategy}).Join(l, r, spec)
+		n := (&Engine{Strategy: NestedLoop}).Join(l, r, spec)
+		return sameRowMultiset(h, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the inner join is exactly the null-free fraction of the full
+// outer join restricted to matched rows — equivalently, outer ⊇ inner and
+// |outer| = |inner| + |unmatched L| + |unmatched R|.
+func TestOuterJoinCardinalityProperty(t *testing.T) {
+	f := func(lv, rv []uint16) bool {
+		l := genTable([]string{"a", "b"}, lv, 5)
+		r := genTable([]string{"c", "d"}, rv, 5)
+		spec := JoinSpec{
+			EqL: []int{0}, EqR: []int{0},
+			LOut: []int{0, 1}, ROut: []int{1},
+		}
+		inner := (&Engine{}).Join(l, r, spec)
+		outer := (&Engine{}).FullOuterJoin(l, r, spec)
+		if outer.Len() < inner.Len() {
+			return false
+		}
+		// Every left and right row is represented at least once.
+		return outer.Len() >= l.Len() || outer.Len() >= r.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dedup is idempotent and never increases cardinality.
+func TestDedupProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		tb := genTable([]string{"a", "b", "c"}, vals, 3)
+		d1 := tb.Dedup()
+		d2 := d1.Dedup()
+		return d1.Len() <= tb.Len() && d1.Len() == d2.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DistinctCount equals the length of DistinctValues and is
+// bounded by the row count.
+func TestDistinctProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		tb := genTable([]string{"a"}, vals, 9)
+		n := tb.DistinctCount(0)
+		return n == len(tb.DistinctValues(0)) && n <= tb.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: projection preserves row count and column order.
+func TestProjectProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		tb := genTable([]string{"a", "b", "c"}, vals, 11)
+		p := tb.Project(2, 0)
+		if p.Len() != tb.Len() {
+			return false
+		}
+		for i := 0; i < tb.Len(); i++ {
+			if p.Row(i)[0] != tb.Row(i)[2] || p.Row(i)[1] != tb.Row(i)[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

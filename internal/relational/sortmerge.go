@@ -1,0 +1,91 @@
+package relational
+
+import "sort"
+
+// SortMerge is a third physical join strategy: sort both sides on the join
+// keys and merge. It trades the hash table for two sorts — competitive when
+// inputs are large relative to the key domain, and a useful second
+// optimized baseline for the engine ablations.
+const SortMerge Strategy = 2
+
+func (e *Engine) sortMergeJoin(l, r *Table, spec JoinSpec) *Table {
+	out := NewTable(spec.outSchema(l, r)...)
+	if len(spec.EqL) == 0 {
+		return e.hashJoin(l, r, spec) // falls back to the cross-join path
+	}
+	ls := sortedIdx(l, spec.EqL)
+	rs := sortedIdx(r, spec.EqR)
+
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		lr := l.rows[ls[i]]
+		rr := r.rows[rs[j]]
+		c := compareKeys(lr, rr, spec.EqL, spec.EqR)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Find the equal-key run on both sides and emit the product.
+			iEnd := i
+			for iEnd < len(ls) && compareKeys(l.rows[ls[iEnd]], rr, spec.EqL, spec.EqR) == 0 {
+				iEnd++
+			}
+			jEnd := j
+			for jEnd < len(rs) && compareKeys(lr, r.rows[rs[jEnd]], spec.EqL, spec.EqR) == 0 {
+				jEnd++
+			}
+			for a := i; a < iEnd; a++ {
+				for b := j; b < jEnd; b++ {
+					e.Stats.Comparisons++
+					la, rb := l.rows[ls[a]], r.rows[rs[b]]
+					if spec.neqOK(la, rb) {
+						out.rows = append(out.rows, spec.emit(la, rb))
+					}
+				}
+			}
+			i, j = iEnd, jEnd
+		}
+	}
+	return out
+}
+
+// sortedIdx returns row indexes ordered by the key columns, with null-keyed
+// rows dropped (they can never match).
+func sortedIdx(t *Table, keys []int) []int {
+	idx := make([]int, 0, len(t.rows))
+rows:
+	for i, r := range t.rows {
+		for _, k := range keys {
+			if r[k].IsNull() {
+				continue rows
+			}
+		}
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ra, rb := t.rows[idx[a]], t.rows[idx[b]]
+		for _, k := range keys {
+			if ra[k] != rb[k] {
+				return ra[k] < rb[k]
+			}
+		}
+		return false
+	})
+	return idx
+}
+
+// compareKeys orders two rows by their respective key columns.
+func compareKeys(lr, rr Row, lk, rk []int) int {
+	for k := range lk {
+		lv, rv := lr[lk[k]], rr[rk[k]]
+		if lv != rv {
+			if lv < rv {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

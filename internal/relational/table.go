@@ -1,0 +1,275 @@
+// Package relational is the in-memory relational engine underlying WiClean.
+//
+// The paper represents pattern realizations as relational tables whose
+// attributes are pattern variable names and whose tuples are assignments of
+// concrete entities to the variables, and grows them with dedicated
+// join-based queries "optimized by the underlying SQL engine" (§4.2). The
+// partial-update detector of §5 replaces those joins with full outer joins.
+// This package supplies exactly that machinery: tables, hash equijoins with
+// residual inequality predicates, full outer joins with null padding,
+// projection, selection, dedup and distinct counts — plus a nested-loop
+// execution strategy used by the PM−join ablation baseline.
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a table cell. WiClean stores entity IDs; Null marks a missing
+// assignment produced by outer joins.
+type Value int32
+
+// Null is the SQL NULL of the engine.
+const Null Value = -1
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v == Null }
+
+// Row is one tuple.
+type Row []Value
+
+// Clone copies a row.
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// HasNull reports whether any cell is null — the selection predicate of
+// Algorithm 3, line 10 ("tuples with null values" are partial realizations).
+func (r Row) HasNull() bool {
+	for _, v := range r {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// Table is a named-column relation. Rows are dense []Value slices.
+type Table struct {
+	cols []string
+	rows []Row
+}
+
+// NewTable returns an empty table with the given column names.
+func NewTable(cols ...string) *Table {
+	c := make([]string, len(cols))
+	copy(c, cols)
+	return &Table{cols: c}
+}
+
+// FromRows builds a table from column names and rows; rows are copied.
+// It panics if a row's arity does not match the schema, which always
+// indicates a programming error in the caller.
+func FromRows(cols []string, rows []Row) *Table {
+	t := NewTable(cols...)
+	for _, r := range rows {
+		t.Append(r)
+	}
+	return t
+}
+
+// Columns returns the column names.
+func (t *Table) Columns() []string { return t.cols }
+
+// Arity returns the number of columns.
+func (t *Table) Arity() int { return len(t.cols) }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Row returns row i (not copied).
+func (t *Table) Row(i int) Row { return t.rows[i] }
+
+// Rows returns the underlying row slice (not copied).
+func (t *Table) Rows() []Row { return t.rows }
+
+// SetColumnName renames column i; join outputs inherit input names, and
+// realization tables rename the appended column to its pattern variable.
+func (t *Table) SetColumnName(i int, name string) { t.cols[i] = name }
+
+// ColumnIndex returns the index of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Append adds a copy of row. It panics on arity mismatch.
+func (t *Table) Append(r Row) {
+	if len(r) != len(t.cols) {
+		panic(fmt.Sprintf("relational: row arity %d != schema arity %d", len(r), len(t.cols)))
+	}
+	t.rows = append(t.rows, r.Clone())
+}
+
+// Project returns a new table with the given column indexes, in order.
+func (t *Table) Project(idx ...int) *Table {
+	cols := make([]string, len(idx))
+	for i, j := range idx {
+		cols[i] = t.cols[j]
+	}
+	out := NewTable(cols...)
+	for _, r := range t.rows {
+		nr := make(Row, len(idx))
+		for i, j := range idx {
+			nr[i] = r[j]
+		}
+		out.rows = append(out.rows, nr)
+	}
+	return out
+}
+
+// ProjectNamed is Project by column names; unknown names panic.
+func (t *Table) ProjectNamed(names ...string) *Table {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := t.ColumnIndex(n)
+		if j < 0 {
+			panic(fmt.Sprintf("relational: unknown column %q", n))
+		}
+		idx[i] = j
+	}
+	return t.Project(idx...)
+}
+
+// Select returns the rows satisfying pred, keeping the schema.
+func (t *Table) Select(pred func(Row) bool) *Table {
+	out := NewTable(t.cols...)
+	for _, r := range t.rows {
+		if pred(r) {
+			out.rows = append(out.rows, r.Clone())
+		}
+	}
+	return out
+}
+
+// Dedup returns the table with duplicate rows removed (first occurrence
+// kept). Nulls compare equal to nulls for dedup purposes. Rows are bucketed
+// by an FNV hash and verified exactly, so the pass stays allocation-light —
+// it runs after every realization-growing join.
+func (t *Table) Dedup() *Table {
+	out := NewTable(t.cols...)
+	buckets := make(map[uint64][]Row, len(t.rows))
+rows:
+	for _, r := range t.rows {
+		h := rowHash(r)
+		for _, prev := range buckets[h] {
+			if rowsEqual(prev, r) {
+				continue rows
+			}
+		}
+		c := r.Clone()
+		buckets[h] = append(buckets[h], c)
+		out.rows = append(out.rows, c)
+	}
+	return out
+}
+
+func rowHash(r Row) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range r {
+		u := uint32(v)
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(u >> shift))
+			h *= prime64
+		}
+	}
+	return h
+}
+
+func rowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DistinctCount returns the number of distinct non-null values in column
+// col — the SQL COUNT(DISTINCT col) the frequency computation of Algorithm 1
+// (line 13) issues against the pattern-source column.
+func (t *Table) DistinctCount(col int) int {
+	seen := map[Value]bool{}
+	for _, r := range t.rows {
+		if !r[col].IsNull() {
+			seen[r[col]] = true
+		}
+	}
+	return len(seen)
+}
+
+// DistinctValues returns the sorted distinct non-null values of column col.
+func (t *Table) DistinctValues(col int) []Value {
+	seen := map[Value]bool{}
+	for _, r := range t.rows {
+		if !r[col].IsNull() {
+			seen[r[col]] = true
+		}
+	}
+	out := make([]Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	out := NewTable(t.cols...)
+	out.rows = make([]Row, len(t.rows))
+	for i, r := range t.rows {
+		out.rows[i] = r.Clone()
+	}
+	return out
+}
+
+// SortRows orders rows lexicographically, for deterministic output.
+func (t *Table) SortRows() {
+	sort.Slice(t.rows, func(i, j int) bool {
+		a, b := t.rows[i], t.rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// String renders a small table for debugging.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.cols, " | "))
+	b.WriteByte('\n')
+	for i, r := range t.rows {
+		if i >= 20 {
+			fmt.Fprintf(&b, "... (%d rows total)\n", len(t.rows))
+			break
+		}
+		for j, v := range r {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			if v.IsNull() {
+				b.WriteString("∅")
+			} else {
+				fmt.Fprintf(&b, "%d", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

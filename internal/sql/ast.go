@@ -1,0 +1,136 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColumnRef names a column, optionally qualified by a table alias.
+type ColumnRef struct {
+	Table  string // alias; empty = unqualified
+	Column string
+}
+
+// String renders the reference.
+func (c ColumnRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// SelectItem is one projection item.
+type SelectItem struct {
+	Star          bool      // SELECT *
+	Column        ColumnRef // plain column
+	CountDistinct bool      // COUNT(DISTINCT col)
+	CountStar     bool      // COUNT(*)
+}
+
+// Predicate is one conjunct: col <op> col or col <op> literal, or an
+// IS [NOT] NULL test.
+type Predicate struct {
+	Left      ColumnRef
+	Op        string // "=", "<>", "isnull", "notnull"
+	Right     ColumnRef
+	RightLit  int64
+	IsLiteral bool
+}
+
+// String renders the predicate.
+func (p Predicate) String() string {
+	switch p.Op {
+	case "isnull":
+		return p.Left.String() + " IS NULL"
+	case "notnull":
+		return p.Left.String() + " IS NOT NULL"
+	}
+	if p.IsLiteral {
+		return fmt.Sprintf("%s %s %d", p.Left, p.Op, p.RightLit)
+	}
+	return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Right)
+}
+
+// JoinClause is one JOIN step.
+type JoinClause struct {
+	Table     string
+	Alias     string
+	FullOuter bool
+	On        []Predicate
+}
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	Distinct bool
+	Items    []SelectItem
+	From     string
+	Alias    string
+	Joins    []JoinClause
+	Where    []Predicate
+	GroupBy  []ColumnRef
+}
+
+// String renders the query back to SQL text (normalized).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range q.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star:
+			b.WriteString("*")
+		case it.CountStar:
+			b.WriteString("COUNT(*)")
+		case it.CountDistinct:
+			fmt.Fprintf(&b, "COUNT(DISTINCT %s)", it.Column)
+		default:
+			b.WriteString(it.Column.String())
+		}
+	}
+	fmt.Fprintf(&b, " FROM %s", q.From)
+	if q.Alias != "" && q.Alias != q.From {
+		fmt.Fprintf(&b, " AS %s", q.Alias)
+	}
+	for _, j := range q.Joins {
+		if j.FullOuter {
+			b.WriteString(" FULL OUTER JOIN ")
+		} else {
+			b.WriteString(" JOIN ")
+		}
+		b.WriteString(j.Table)
+		if j.Alias != "" && j.Alias != j.Table {
+			fmt.Fprintf(&b, " AS %s", j.Alias)
+		}
+		b.WriteString(" ON ")
+		for i, p := range j.On {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+// Package sql implements the small SQL dialect WiClean's algorithms are
+// phrased in. The paper runs "SQL over pandas" as the query engine under
+// the miner; this package provides the equivalent layer over the
+// relational engine: a lexer, a recursive-descent parser and an executor
+// for SELECT queries with (outer) joins, inequality predicates, DISTINCT
+// and COUNT(DISTINCT ...) — exactly the query shapes of Algorithms 1 and 3.
+// It also renders the miner's realization-growing join specs back into SQL
+// text, so every mining step can be explained as the query the paper
+// describes.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol  // ( ) , . * =
+	tokNeq     // <> or !=
+	tokKeyword // SELECT FROM WHERE JOIN ON AND AS FULL OUTER DISTINCT COUNT IS NULL NOT
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "ON": true,
+	"AND": true, "AS": true, "FULL": true, "OUTER": true, "DISTINCT": true,
+	"COUNT": true, "IS": true, "NULL": true, "NOT": true, "INNER": true,
+	"GROUP": true, "BY": true, "ORDER": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenizes a query. Identifiers are case-preserved; keywords are
+// recognized case-insensitively and normalized to upper case.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*' || c == '=':
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		case c == '<':
+			if i+1 < len(input) && input[i+1] == '>' {
+				toks = append(toks, token{tokNeq, "<>", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '<' at %d (only <> supported)", i)
+			}
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokNeq, "<>", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at %d", i)
+			}
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9'):
+			j := i + 1
+			for j < len(input) && input[j] >= '0' && input[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(input) && isIdentPart(input[j]) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

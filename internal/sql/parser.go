@@ -1,0 +1,263 @@
+package sql
+
+import "fmt"
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %d: %q", p.cur().pos, p.cur().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) eat(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, fmt.Errorf("sql: expected %s at %d, found %q", want, t.pos, t.text)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	q.Distinct = p.eat(tokKeyword, "DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, item)
+		if !p.eat(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	name, alias, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	q.From, q.Alias = name, alias
+
+	for {
+		full := false
+		switch {
+		case p.at(tokKeyword, "FULL"):
+			p.i++
+			p.eat(tokKeyword, "OUTER")
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			full = true
+		case p.at(tokKeyword, "INNER"):
+			p.i++
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		case p.at(tokKeyword, "JOIN"):
+			p.i++
+		default:
+			goto joinsDone
+		}
+		{
+			name, alias, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			preds, err := p.parsePredicates()
+			if err != nil {
+				return nil, err
+			}
+			q.Joins = append(q.Joins, JoinClause{Table: name, Alias: alias, FullOuter: full, On: preds})
+		}
+	}
+joinsDone:
+	if p.eat(tokKeyword, "WHERE") {
+		preds, err := p.parsePredicates()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = preds
+	}
+	if p.eat(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if !p.eat(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.eat(tokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	if p.eat(tokKeyword, "COUNT") {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return SelectItem{}, err
+		}
+		if p.eat(tokSymbol, "*") {
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{CountStar: true}, nil
+		}
+		if _, err := p.expect(tokKeyword, "DISTINCT"); err != nil {
+			return SelectItem{}, err
+		}
+		col, err := p.parseColumnRef()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{CountDistinct: true, Column: col}, nil
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Column: col}, nil
+}
+
+func (p *parser) parseTableRef() (name, alias string, err error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", "", err
+	}
+	name, alias = t.text, t.text
+	if p.eat(tokKeyword, "AS") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return "", "", err
+		}
+		alias = a.text
+	} else if p.at(tokIdent, "") {
+		alias = p.cur().text
+		p.i++
+	}
+	return name, alias, nil
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.eat(tokSymbol, ".") {
+		c, err := p.expect(tokIdent, "")
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Table: t.text, Column: c.text}, nil
+	}
+	return ColumnRef{Column: t.text}, nil
+}
+
+func (p *parser) parsePredicates() ([]Predicate, error) {
+	var preds []Predicate
+	for {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred)
+		if !p.eat(tokKeyword, "AND") {
+			break
+		}
+	}
+	return preds, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	left, err := p.parseColumnRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if p.eat(tokKeyword, "IS") {
+		if p.eat(tokKeyword, "NOT") {
+			if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+				return Predicate{}, err
+			}
+			return Predicate{Left: left, Op: "notnull"}, nil
+		}
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Left: left, Op: "isnull"}, nil
+	}
+	op := ""
+	switch {
+	case p.eat(tokSymbol, "="):
+		op = "="
+	case p.eat(tokNeq, ""):
+		op = "<>"
+	default:
+		return Predicate{}, fmt.Errorf("sql: expected comparison at %d, found %q", p.cur().pos, p.cur().text)
+	}
+	if p.at(tokNumber, "") {
+		t := p.cur()
+		p.i++
+		var n int64
+		if _, err := fmt.Sscanf(t.text, "%d", &n); err != nil {
+			return Predicate{}, fmt.Errorf("sql: bad number %q at %d", t.text, t.pos)
+		}
+		return Predicate{Left: left, Op: op, RightLit: n, IsLiteral: true}, nil
+	}
+	right, err := p.parseColumnRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Left: left, Op: op, Right: right}, nil
+}

@@ -1,0 +1,469 @@
+package synth
+
+import (
+	"fmt"
+
+	"wiclean/internal/action"
+	"wiclean/internal/taxonomy"
+)
+
+// PoolSpec sizes one entity pool of a domain relative to the seed count.
+type PoolSpec struct {
+	Type   taxonomy.Type
+	Prefix string
+	Size   func(seeds int) int
+}
+
+// Domain bundles a taxonomy, entity pools, and the scenario catalog — the
+// catalog doubles as the expert ground-truth pattern list of §6.3.
+type Domain struct {
+	Name     string
+	SeedType taxonomy.Type
+	// SeedSubTypes optionally diversifies seed entities across subtypes of
+	// SeedType (every n-th seed gets the subtype), exercising the type
+	// hierarchy the way real players include goalkeepers.
+	SeedSubType      taxonomy.Type
+	SeedSubTypeEvery int
+
+	Taxonomy func() *taxonomy.Taxonomy
+	Pools    []PoolSpec
+	Catalog  []Scenario
+
+	// NoiseLabels are relation labels used by uncoordinated lone edits.
+	NoiseLabels []action.Label
+
+	// ExpectedMissed is how many catalog entries are window-less by design
+	// and expected to escape window-based mining (2 soccer, 1 cinema, 1
+	// politics in the paper's recall numbers).
+	ExpectedMissed int
+}
+
+func atLeast(min int, frac float64) func(int) int {
+	return func(seeds int) int {
+		n := int(float64(seeds) * frac)
+		if n < min {
+			return min
+		}
+		return n
+	}
+}
+
+// Soccer returns the soccer domain: players as seeds, clubs, leagues,
+// national teams, awards — 11 catalog scenarios of which 2 are window-less.
+func Soccer() Domain {
+	tax := func() *taxonomy.Taxonomy {
+		x := taxonomy.New()
+		x.AddChain("Agent", "Person", "Athlete", "FootballPlayer", "Goalkeeper")
+		x.AddChain("Agent", "Organisation", "SportsTeam", "FootballClub")
+		x.AddChain("Agent", "Organisation", "SportsTeam", "NationalFootballTeam")
+		x.AddChain("Agent", "Organisation", "SportsLeague")
+		x.AddChain("Work", "Award")
+		x.AddChain("Place", "Stadium")
+		return x
+	}
+	W := action.Week
+	return Domain{
+		Name:             "soccer",
+		SeedType:         "FootballPlayer",
+		SeedSubType:      "Goalkeeper",
+		SeedSubTypeEvery: 10,
+		Taxonomy:         tax,
+		// Pool sizes model that the seed set is a sparse sample of a much
+		// larger population: hub pages (clubs, awards, teams) that edit many
+		// seed entities in one window would otherwise make cross-seed
+		// co-occurrence patterns frequent at the refinement floor τ = 0.2,
+		// which real sampled seed sets do not exhibit.
+		Pools: []PoolSpec{
+			{Type: "FootballClub", Prefix: "Club", Size: atLeast(24, 8.0)},
+			{Type: "FootballPlayer", Prefix: "VeteranPlayer", Size: atLeast(12, 1.0)},
+			{Type: "NationalFootballTeam", Prefix: "NationalTeam", Size: atLeast(10, 1.5)},
+			{Type: "SportsLeague", Prefix: "League", Size: atLeast(4, 0.02)},
+			{Type: "Award", Prefix: "SoccerAward", Size: atLeast(16, 4.0)},
+			{Type: "Stadium", Prefix: "Stadium", Size: atLeast(8, 0.10)},
+		},
+		NoiseLabels: []action.Label{"current_club", "squad", "sponsor", "website", "birth_place"},
+		Catalog: []Scenario{
+			// The three transfer entries model ONE event population: every
+			// transfer performs the fast reciprocal pair (player links the
+			// club, club adds the player), most also perform the lagging
+			// deletions on the old club side, and cross-league moves add
+			// the league swap. The experts list all three granularities;
+			// only the full event emitter generates instances, and the two
+			// Ghost entries are its sub-patterns, discovered at narrower
+			// windows / higher thresholds exactly as §6.3 describes (the
+			// simple pattern at frequency ~0.8 in a narrow window, the
+			// complex one at ~0.4 in a wider one).
+			{
+				Name:        "transfer-simple",
+				Description: "player joins a club: player links the club, club adds the player to its squad",
+				Roles:       []taxonomy.Type{"FootballPlayer", "FootballClub"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "current_club", Dst: 1},
+					{Op: action.Add, Src: 1, Label: "squad", Dst: 0},
+				},
+				WindowWidth: 1 * W, Period: 52 * W, Phase: 4 * W,
+				Ghost: true,
+			},
+			{
+				Name:        "transfer-full",
+				Description: "full transfer: joins the new club and leaves the old one, both squads updated",
+				Roles:       []taxonomy.Type{"FootballPlayer", "FootballClub", "FootballClub"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "current_club", Dst: 1},
+					{Op: action.Remove, Src: 0, Label: "current_club", Dst: 2},
+					{Op: action.Add, Src: 1, Label: "squad", Dst: 0},
+					{Op: action.Remove, Src: 2, Label: "squad", Dst: 0},
+				},
+				WindowWidth: 2 * W, Period: 52 * W, Phase: 4 * W,
+				Ghost: true,
+			},
+			{
+				Name:        "transfer-league",
+				Description: "cross-league move: the full transfer plus the league swap on the player page",
+				Roles:       []taxonomy.Type{"FootballPlayer", "FootballClub", "FootballClub", "SportsLeague", "SportsLeague"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "current_club", Dst: 1, OmitWeight: 1, TimeLo: 0, TimeHi: 0.4},
+					{Op: action.Remove, Src: 0, Label: "current_club", Dst: 2, OmitWeight: 7, TimeLo: 0.2, TimeHi: 1},
+					{Op: action.Add, Src: 1, Label: "squad", Dst: 0, OmitWeight: 2, TimeLo: 0, TimeHi: 0.4},
+					{Op: action.Remove, Src: 2, Label: "squad", Dst: 0, OmitWeight: 7, TimeLo: 0.2, TimeHi: 1},
+					{Op: action.Add, Src: 0, Label: "in_league", Dst: 3, TimeLo: 0, TimeHi: 0.6},
+					{Op: action.Remove, Src: 0, Label: "in_league", Dst: 4, TimeLo: 0, TimeHi: 0.6},
+				},
+				// Same-league moves skip the league swap entirely — a
+				// legitimate variation, not an error, which is why partial
+				// league edits are so often benign (the paper verified only
+				// 14/50 of the relative pattern's signals as real errors).
+				SkipGroups:  []SkipGroup{{Steps: []int{4, 5}, Prob: 0.12}},
+				WindowWidth: 3 * W, Period: 52 * W, Phase: 4 * W,
+				Participation: 0.52, ErrorRate: 0.29,
+			},
+			{
+				Name:        "goal-of-month",
+				Description: "goal of the month: winner links the award and the award page links back",
+				Roles:       []taxonomy.Type{"FootballPlayer", "Award"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "award", Dst: 1, OmitWeight: 2},
+					{Op: action.Add, Src: 1, Label: "winner", Dst: 0, OmitWeight: 3},
+				},
+				WindowWidth: 1 * W, Period: 4 * W, Phase: 1 * W,
+				Participation: 0.030, ErrorRate: 0.10,
+			},
+			{
+				Name:        "captaincy-change",
+				Description: "new captain: player marks the club, club swaps its captain link",
+				Roles:       []taxonomy.Type{"FootballPlayer", "FootballClub", "FootballPlayer"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "captain_of", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "captain", Dst: 0, OmitWeight: 2},
+					{Op: action.Remove, Src: 1, Label: "captain", Dst: 2, OmitWeight: 4},
+				},
+				WindowWidth: 1 * W, Period: 52 * W, Phase: 6 * W,
+				Participation: 0.30, ErrorRate: 0.14,
+			},
+			{
+				Name:        "national-team-callup",
+				Description: "call-up: player links the national team, squad list gains the player",
+				Roles:       []taxonomy.Type{"FootballPlayer", "NationalFootballTeam"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "national_team", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "squad", Dst: 0, OmitWeight: 3},
+				},
+				WindowWidth: 1 * W, Period: 26 * W, Phase: 2 * W,
+				Participation: 0.13, ErrorRate: 0.10,
+			},
+			{
+				Name:        "loan-move",
+				Description: "loan: player links the borrowing club, club lists the loanee",
+				Roles:       []taxonomy.Type{"FootballPlayer", "FootballClub"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "on_loan_at", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "loan_squad", Dst: 0, OmitWeight: 3},
+				},
+				WindowWidth: 1 * W, Period: 52 * W, Phase: 5 * W,
+				Participation: 0.30, ErrorRate: 0.12,
+			},
+			{
+				Name:        "retirement",
+				Description: "retirement: player marks the club retired from, club moves the player off the squad",
+				Roles:       []taxonomy.Type{"FootballPlayer", "FootballClub"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "retired_from", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "former_squad", Dst: 0, OmitWeight: 4},
+				},
+				WindowWidth: 2 * W, Period: 52 * W, Phase: 8 * W,
+				Participation: 0.32, ErrorRate: 0.12,
+			},
+			{
+				Name:        "player-of-month",
+				Description: "player of the month: honour on the player page, awardee on the award page",
+				Roles:       []taxonomy.Type{"FootballPlayer", "Award"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "honour", Dst: 1, OmitWeight: 2},
+					{Op: action.Add, Src: 1, Label: "awarded_to", Dst: 0, OmitWeight: 3},
+				},
+				WindowWidth: 1 * W, Period: 4 * W, Phase: 2 * W,
+				Participation: 0.030, ErrorRate: 0.10,
+			},
+			{
+				Name:        "testimonial-match",
+				Description: "testimonial match honours (window-less: spread across the year)",
+				Roles:       []taxonomy.Type{"FootballPlayer", "FootballClub"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "testimonial", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "honours", Dst: 0, OmitWeight: 2},
+				},
+				WindowWidth: 1 * W, Period: 0,
+				Participation: 0.15, ErrorRate: 0.10,
+			},
+			{
+				Name:        "squad-number-change",
+				Description: "jersey number reassignment (window-less: spread across the year)",
+				Roles:       []taxonomy.Type{"FootballPlayer", "FootballClub"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "squad_number_at", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "number_assignment", Dst: 0, OmitWeight: 2},
+				},
+				WindowWidth: 1 * W, Period: 0,
+				Participation: 0.15, ErrorRate: 0.10,
+			},
+		},
+		ExpectedMissed: 2,
+	}
+}
+
+// Cinematography returns the cinema domain: actors as seeds, films, series,
+// awards, studios — 8 catalog scenarios of which 1 is window-less.
+func Cinematography() Domain {
+	tax := func() *taxonomy.Taxonomy {
+		x := taxonomy.New()
+		x.AddChain("Agent", "Person", "Artist", "Actor", "VoiceActor")
+		x.AddChain("Work", "Film")
+		x.AddChain("Work", "TelevisionShow", "TVSeries")
+		x.AddChain("Work", "Award")
+		x.AddChain("Agent", "Organisation", "Company", "Studio")
+		return x
+	}
+	W := action.Week
+	return Domain{
+		Name:             "cinematography",
+		SeedType:         "Actor",
+		SeedSubType:      "VoiceActor",
+		SeedSubTypeEvery: 12,
+		Taxonomy:         tax,
+		Pools: []PoolSpec{
+			{Type: "Film", Prefix: "Film", Size: atLeast(20, 5.0)},
+			{Type: "TVSeries", Prefix: "Series", Size: atLeast(16, 5.0)},
+			{Type: "Award", Prefix: "FilmAward", Size: atLeast(16, 4.0)},
+			{Type: "Studio", Prefix: "Studio", Size: atLeast(10, 1.2)},
+		},
+		NoiseLabels: []action.Label{"filmography", "starring", "producer", "website", "spouse"},
+		Catalog: []Scenario{
+			// oscar-win / festival-award and film-release / sequel-casting
+			// model aliasing families the same way as the soccer transfers:
+			// one emitter per family (award wins sometimes credit the
+			// awarded film; releases are sometimes sequels), with the
+			// narrower expert pattern as a Ghost sub-pattern. Emitting the
+			// sub-population separately would flood the detector with
+			// false partials of the wider pattern.
+			{
+				Name:        "oscar-win",
+				Description: "award win: the winner links the award page and vice versa",
+				Roles:       []taxonomy.Type{"Actor", "Award"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "award", Dst: 1, OmitWeight: 2},
+					{Op: action.Add, Src: 1, Label: "winner", Dst: 0, OmitWeight: 3},
+				},
+				WindowWidth: 1 * W, Period: 52 * W, Phase: 8 * W,
+				Participation: 0.44, ErrorRate: 0.12,
+			},
+			{
+				Name:        "film-release",
+				Description: "release: actor filmography gains the film, film cast gains the actor",
+				Roles:       []taxonomy.Type{"Actor", "Film"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "filmography", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "starring", Dst: 0, OmitWeight: 3},
+				},
+				WindowWidth: 2 * W, Period: 52 * W, Phase: 3 * W,
+				Participation: 0.48, ErrorRate: 0.10,
+			},
+			{
+				Name:        "festival-award",
+				Description: "festival prize: laureate links the prize, the prize page lists laureate and awarded film",
+				Roles:       []taxonomy.Type{"Actor", "Award", "Film"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "festival_prize", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "laureate", Dst: 0, OmitWeight: 3},
+					{Op: action.Add, Src: 1, Label: "awarded_for", Dst: 2, OmitWeight: 2},
+				},
+				WindowWidth: 1 * W, Period: 52 * W, Phase: 20 * W,
+				Participation: 0.30, ErrorRate: 0.14,
+			},
+			{
+				Name:        "tv-series-join",
+				Description: "series casting: actor lists the show, the show lists the actor",
+				Roles:       []taxonomy.Type{"Actor", "TVSeries"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "television", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "cast", Dst: 0, OmitWeight: 3},
+				},
+				WindowWidth: 2 * W, Period: 52 * W, Phase: 2 * W,
+				Participation: 0.36, ErrorRate: 0.12,
+			},
+			{
+				Name:        "tv-series-exit",
+				Description: "series exit: both pages drop the links",
+				Roles:       []taxonomy.Type{"Actor", "TVSeries"},
+				Steps: []Step{
+					{Op: action.Remove, Src: 0, Label: "television", Dst: 1, OmitWeight: 1},
+					{Op: action.Remove, Src: 1, Label: "cast", Dst: 0, OmitWeight: 4},
+				},
+				WindowWidth: 2 * W, Period: 52 * W, Phase: 15 * W,
+				Participation: 0.30, ErrorRate: 0.14,
+			},
+			{
+				Name:        "studio-contract",
+				Description: "studio deal: actor signs, studio lists its talent",
+				Roles:       []taxonomy.Type{"Actor", "Studio"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "signed_with", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "talent", Dst: 0, OmitWeight: 3},
+				},
+				WindowWidth: 2 * W, Period: 52 * W, Phase: 10 * W,
+				Participation: 0.28, ErrorRate: 0.12,
+			},
+			{
+				Name:        "sequel-casting",
+				Description: "sequel casting: returning actor and the sequel film cross-link, plus the sequel-of link",
+				Roles:       []taxonomy.Type{"Actor", "Film", "Film"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "reprises_role", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "returning_cast", Dst: 0, OmitWeight: 3},
+					{Op: action.Add, Src: 1, Label: "sequel_to", Dst: 2, OmitWeight: 2},
+				},
+				WindowWidth: 2 * W, Period: 52 * W, Phase: 6 * W,
+				Participation: 0.28, ErrorRate: 0.12,
+			},
+			{
+				Name:        "archive-footage",
+				Description: "archive footage credits (window-less: spread across the year)",
+				Roles:       []taxonomy.Type{"Actor", "Film"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "archive_footage", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "featuring", Dst: 0, OmitWeight: 2},
+				},
+				WindowWidth: 1 * W, Period: 0,
+				Participation: 0.15, ErrorRate: 0.10,
+			},
+		},
+		ExpectedMissed: 1,
+	}
+}
+
+// USPoliticians returns the politics domain: senators as seeds, states,
+// parties, committees — 5 catalog scenarios of which 1 is window-less.
+func USPoliticians() Domain {
+	tax := func() *taxonomy.Taxonomy {
+		x := taxonomy.New()
+		x.AddChain("Agent", "Person", "Politician", "Senator")
+		x.AddChain("Place", "AdministrativeRegion", "USState")
+		x.AddChain("Agent", "Organisation", "PoliticalParty")
+		x.AddChain("Agent", "Organisation", "Committee")
+		return x
+	}
+	W := action.Week
+	return Domain{
+		Name:     "us-politicians",
+		SeedType: "Senator",
+		Taxonomy: tax,
+		Pools: []PoolSpec{
+			{Type: "USState", Prefix: "State", Size: atLeast(12, 2.0)},
+			{Type: "PoliticalParty", Prefix: "Party", Size: atLeast(10, 1.2)},
+			{Type: "Committee", Prefix: "Committee", Size: atLeast(14, 3.0)},
+			// Former senators serve as the "previous senator" role without
+			// inflating the seed set.
+			{Type: "Senator", Prefix: "FormerSenator", Size: atLeast(12, 1.0)},
+		},
+		NoiseLabels: []action.Label{"represents", "member_of", "alma_mater", "website", "spouse"},
+		Catalog: []Scenario{
+			{
+				Name: "senator-election",
+				Description: "election: new senator and state link each other, the state drops " +
+					"the predecessor (who keeps pointing to the state)",
+				Roles: []taxonomy.Type{"Senator", "USState", "Senator"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "represents", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "senator", Dst: 0, OmitWeight: 2},
+					{Op: action.Remove, Src: 1, Label: "senator", Dst: 2, OmitWeight: 4},
+				},
+				WindowWidth: 2 * W, Period: 52 * W, Phase: 44 * W,
+				Participation: 0.40, ErrorRate: 0.16,
+			},
+			{
+				Name:        "committee-assignment",
+				Description: "committee seat: senator and committee pages link each other",
+				Roles:       []taxonomy.Type{"Senator", "Committee"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "member_of", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "members", Dst: 0, OmitWeight: 3},
+				},
+				WindowWidth: 2 * W, Period: 26 * W, Phase: 2 * W,
+				Participation: 0.22, ErrorRate: 0.12,
+			},
+			{
+				Name:        "party-switch",
+				Description: "party switch: both party pages and the senator page updated",
+				Roles:       []taxonomy.Type{"Senator", "PoliticalParty", "PoliticalParty"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "party", Dst: 1, OmitWeight: 1},
+					{Op: action.Remove, Src: 0, Label: "party", Dst: 2, OmitWeight: 2},
+					{Op: action.Add, Src: 1, Label: "members", Dst: 0, OmitWeight: 2},
+					{Op: action.Remove, Src: 2, Label: "members", Dst: 0, OmitWeight: 5},
+				},
+				WindowWidth: 2 * W, Period: 26 * W, Phase: 8 * W,
+				Participation: 0.15, ErrorRate: 0.16,
+			},
+			{
+				Name:        "committee-chair",
+				Description: "chairmanship: chair link on the senator, chairperson on the committee",
+				Roles:       []taxonomy.Type{"Senator", "Committee"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "chair_of", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "chairperson", Dst: 0, OmitWeight: 3},
+				},
+				WindowWidth: 1 * W, Period: 52 * W, Phase: 4 * W,
+				Participation: 0.30, ErrorRate: 0.12,
+			},
+			{
+				Name:        "constituency-office",
+				Description: "constituency office listings (window-less: spread across the year)",
+				Roles:       []taxonomy.Type{"Senator", "USState"},
+				Steps: []Step{
+					{Op: action.Add, Src: 0, Label: "office_in", Dst: 1, OmitWeight: 1},
+					{Op: action.Add, Src: 1, Label: "office_of", Dst: 0, OmitWeight: 2},
+				},
+				WindowWidth: 1 * W, Period: 0,
+				Participation: 0.15, ErrorRate: 0.10,
+			},
+		},
+		ExpectedMissed: 1,
+	}
+}
+
+// Domains lists the three evaluation domains of §6 by name.
+func Domains() map[string]Domain {
+	return map[string]Domain{
+		"soccer":         Soccer(),
+		"cinematography": Cinematography(),
+		"us-politicians": USPoliticians(),
+	}
+}
+
+// DomainByName resolves a domain, erroring on unknown names.
+func DomainByName(name string) (Domain, error) {
+	d, ok := Domains()[name]
+	if !ok {
+		return Domain{}, fmt.Errorf("synth: unknown domain %q (have soccer, cinematography, us-politicians)", name)
+	}
+	return d, nil
+}

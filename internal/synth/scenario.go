@@ -1,0 +1,191 @@
+package synth
+
+import (
+	"fmt"
+
+	"wiclean/internal/action"
+	"wiclean/internal/pattern"
+	"wiclean/internal/taxonomy"
+)
+
+// Step is one edit of a scenario, over role indices (role 0 is always the
+// seed entity).
+type Step struct {
+	Op    action.Op
+	Src   int // role index of the editing page
+	Label action.Label
+	Dst   int // role index of the link target
+	// OmitWeight biases which steps an erroneous instance leaves out: the
+	// classic Wikipedia failure is neglecting the old club's page, so its
+	// steps carry the highest weights. Zero-weight steps are never
+	// omitted.
+	OmitWeight int
+	// TimeLo/TimeHi bound the step's timestamp as fractions of the
+	// scenario window (both zero = the whole window). Reciprocal edits lag
+	// the triggering edit in real histories — that lag is why the simple
+	// sub-pattern completes within a narrower window than the full one.
+	TimeLo, TimeHi float64
+}
+
+// SkipGroup marks steps that one instance performs all-or-nothing, with
+// Prob of being skipped entirely. Skipping is legitimate scenario variation
+// (a same-league transfer performs no league edits), not an error.
+type SkipGroup struct {
+	Steps []int
+	Prob  float64
+}
+
+// Scenario is one ground-truth update pattern: the expert-catalog entry,
+// the event generator recipe, and the time-window spec, all in one.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Roles[0] is the seed type; other roles are drawn from entity pools
+	// of the given types, pairwise distinct within an instance.
+	Roles []taxonomy.Type
+	Steps []Step
+
+	// SkipGroups lists optional step groups (see SkipGroup).
+	SkipGroups []SkipGroup
+
+	// Ghost marks a catalog-only entry: the expert lists this pattern, but
+	// no instances are emitted for it directly — its realizations arise as
+	// sub-patterns of another scenario's instances (the simple transfer
+	// pattern is the fast half of the full transfer event).
+	Ghost bool
+
+	// WindowWidth is the natural time window in which the scenario's edits
+	// complete; edits of one instance are jittered inside it.
+	WindowWidth action.Time
+
+	// Period is the recurrence cadence of the scenario's window within the
+	// span (e.g. half a year for transfer windows, a month for awards).
+	// Period 0 marks a window-less scenario: instances are spread
+	// uniformly over the whole span — the kind of pattern the paper notes
+	// WiClean misses ("two are not clearly associated with any time
+	// window").
+	Period action.Time
+	// Phase offsets the window start inside each period.
+	Phase action.Time
+
+	// Participation is the fraction of the seed set performing the
+	// scenario per window occurrence.
+	Participation float64
+
+	// ErrorRate is the probability an instance is injected as a partial
+	// edit (some steps omitted) — the ground-truth errors.
+	ErrorRate float64
+}
+
+// Pattern derives the ground-truth abstract pattern from roles and steps.
+func (s Scenario) Pattern() pattern.Pattern {
+	p := pattern.Pattern{Vars: append([]taxonomy.Type(nil), s.Roles...)}
+	for _, st := range s.Steps {
+		p.Actions = append(p.Actions, pattern.AbstractAction{
+			Op:    st.Op,
+			Src:   pattern.VarID(st.Src),
+			Label: st.Label,
+			Dst:   pattern.VarID(st.Dst),
+		})
+	}
+	return p
+}
+
+// Validate checks the scenario is internally consistent and its pattern is
+// connected w.r.t. the seed type.
+func (s Scenario) Validate(tax *taxonomy.Taxonomy) error {
+	if len(s.Roles) == 0 {
+		return fmt.Errorf("synth: scenario %q has no roles", s.Name)
+	}
+	for _, t := range s.Roles {
+		if !tax.Has(t) {
+			return fmt.Errorf("synth: scenario %q role type %q unknown", s.Name, t)
+		}
+	}
+	if len(s.Steps) == 0 {
+		return fmt.Errorf("synth: scenario %q has no steps", s.Name)
+	}
+	for _, st := range s.Steps {
+		if st.Src < 0 || st.Src >= len(s.Roles) || st.Dst < 0 || st.Dst >= len(s.Roles) {
+			return fmt.Errorf("synth: scenario %q step references role out of range", s.Name)
+		}
+	}
+	p := s.Pattern()
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("synth: scenario %q: %w", s.Name, err)
+	}
+	if _, ok := p.IsConnected(tax, s.Roles[0]); !ok {
+		return fmt.Errorf("synth: scenario %q pattern not connected from seed", s.Name)
+	}
+	if s.WindowWidth <= 0 {
+		return fmt.Errorf("synth: scenario %q WindowWidth <= 0", s.Name)
+	}
+	for _, g := range s.SkipGroups {
+		if g.Prob < 0 || g.Prob >= 1 {
+			return fmt.Errorf("synth: scenario %q skip prob %v out of [0, 1)", s.Name, g.Prob)
+		}
+		for _, i := range g.Steps {
+			if i < 0 || i >= len(s.Steps) {
+				return fmt.Errorf("synth: scenario %q skip group references step %d", s.Name, i)
+			}
+		}
+	}
+	for _, st := range s.Steps {
+		if st.TimeLo < 0 || st.TimeHi > 1 || st.TimeLo > st.TimeHi {
+			return fmt.Errorf("synth: scenario %q step time bounds [%v, %v] invalid", s.Name, st.TimeLo, st.TimeHi)
+		}
+	}
+	if s.Ghost {
+		return nil // catalog-only entries carry no emission parameters
+	}
+	if s.Participation <= 0 || s.Participation > 1 {
+		return fmt.Errorf("synth: scenario %q Participation %v out of (0, 1]", s.Name, s.Participation)
+	}
+	if s.ErrorRate < 0 || s.ErrorRate >= 1 {
+		return fmt.Errorf("synth: scenario %q ErrorRate %v out of [0, 1)", s.Name, s.ErrorRate)
+	}
+	return nil
+}
+
+// Windows enumerates the scenario's occurrence windows inside span. A
+// periodic scenario opens one window per period at its phase; a window-less
+// scenario reports the whole span as a single pseudo-window.
+func (s Scenario) Windows(span action.Window) []action.Window {
+	if s.Period <= 0 {
+		return []action.Window{span}
+	}
+	var out []action.Window
+	for start := span.Start + s.Phase; start < span.End; start += s.Period {
+		end := start + s.WindowWidth
+		if end > span.End {
+			end = span.End
+		}
+		if start < end {
+			out = append(out, action.Window{Start: start, End: end})
+		}
+	}
+	return out
+}
+
+// InjectedInstance records one emitted scenario occurrence: the ground
+// truth against which detection quality is scored.
+type InjectedInstance struct {
+	Scenario int // index into the world's catalog
+	Window   action.Window
+	Entities []taxonomy.EntityID // one per role
+	Actions  []action.Action     // the emitted edits
+	Omitted  []action.Action     // the edits left out (non-empty = injected error)
+	// Skipped holds the edits withheld by a skip group — legitimate
+	// variation, not errors. Signals explained by a skipped edit are
+	// benign (the paper's same-league transfers whose league "omission"
+	// is correct).
+	Skipped []action.Action
+
+	// Validation ground truth for the §6.3 protocol:
+	Corrected bool // the next-year log completes the omitted edits
+	RealError bool // a (simulated) domain expert confirms it as an error
+}
+
+// IsError reports whether the instance was injected as a partial edit.
+func (inst *InjectedInstance) IsError() bool { return len(inst.Omitted) > 0 }

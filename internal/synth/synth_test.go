@@ -1,0 +1,358 @@
+package synth
+
+import (
+	"testing"
+
+	"wiclean/internal/action"
+	"wiclean/internal/dump"
+	"wiclean/internal/taxonomy"
+)
+
+func TestRandDeterministicAndUniformish(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRand(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRand(7).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatal("different seeds should diverge")
+	}
+	// Zero seed is remapped, not degenerate.
+	z := NewRand(0)
+	if z.Uint64() == 0 && z.Uint64() == 0 {
+		t.Fatal("zero seed degenerate")
+	}
+	// Intn bounds.
+	r := NewRand(3)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("Intn skewed: value %d seen %d/5000", v, c)
+		}
+	}
+	// Float64 in [0,1).
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandPermAndSample(t *testing.T) {
+	r := NewRand(11)
+	p := r.Perm(10)
+	seen := map[int]bool{}
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad perm: %v", p)
+		}
+		seen[v] = true
+	}
+	s := r.Sample(10, 3)
+	if len(s) != 3 {
+		t.Fatalf("Sample = %v", s)
+	}
+	if got := r.Sample(3, 10); len(got) != 3 {
+		t.Fatalf("oversample = %v", got)
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestDomainCatalogsValidate(t *testing.T) {
+	for name, d := range Domains() {
+		tax := d.Taxonomy()
+		if err := tax.Validate(); err != nil {
+			t.Fatalf("%s taxonomy: %v", name, err)
+		}
+		if !tax.Has(d.SeedType) {
+			t.Fatalf("%s: seed type missing", name)
+		}
+		windowless := 0
+		for _, sc := range d.Catalog {
+			if err := sc.Validate(tax); err != nil {
+				t.Errorf("%s/%s: %v", name, sc.Name, err)
+			}
+			if sc.Period <= 0 {
+				windowless++
+			}
+		}
+		if windowless != d.ExpectedMissed {
+			t.Errorf("%s: %d window-less scenarios, ExpectedMissed %d", name, windowless, d.ExpectedMissed)
+		}
+	}
+	// Catalog sizes match the paper's expert lists.
+	if n := len(Soccer().Catalog); n != 11 {
+		t.Errorf("soccer catalog = %d, want 11", n)
+	}
+	if n := len(Cinematography().Catalog); n != 8 {
+		t.Errorf("cinema catalog = %d, want 8", n)
+	}
+	if n := len(USPoliticians().Catalog); n != 5 {
+		t.Errorf("politics catalog = %d, want 5", n)
+	}
+}
+
+func TestDomainByName(t *testing.T) {
+	if _, err := DomainByName("soccer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DomainByName("curling"); err == nil {
+		t.Fatal("unknown domain should error")
+	}
+}
+
+func TestScenarioWindows(t *testing.T) {
+	span := action.Window{Start: 0, End: 52 * action.Week}
+	sc := Scenario{WindowWidth: action.Week, Period: 26 * action.Week, Phase: 4 * action.Week}
+	wins := sc.Windows(span)
+	if len(wins) != 2 {
+		t.Fatalf("windows = %v", wins)
+	}
+	if wins[0].Start != 4*action.Week || wins[1].Start != 30*action.Week {
+		t.Fatalf("windows = %v", wins)
+	}
+	for _, w := range wins {
+		if w.Width() != action.Week {
+			t.Fatalf("width = %v", w)
+		}
+	}
+	// Window-less: one pseudo-window covering the span.
+	sc.Period = 0
+	wins = sc.Windows(span)
+	if len(wins) != 1 || wins[0] != span {
+		t.Fatalf("window-less windows = %v", wins)
+	}
+}
+
+func TestGenerateSmallWorld(t *testing.T) {
+	p := DefaultParams(Soccer(), 60)
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Seeds) != 60 {
+		t.Fatalf("seeds = %d", len(w.Seeds))
+	}
+	if w.History.ActionCount() == 0 {
+		t.Fatal("no actions generated")
+	}
+	if len(w.Truth) == 0 {
+		t.Fatal("no ground-truth instances")
+	}
+	stats := w.TruthStats()
+	if stats.Errors == 0 {
+		t.Fatal("no errors injected")
+	}
+	if stats.Errors >= stats.Instances/2 {
+		t.Fatalf("error rate implausible: %+v", stats)
+	}
+	if stats.Corrected == 0 || stats.Corrected >= stats.Errors {
+		t.Fatalf("corrections implausible: %+v", stats)
+	}
+	if w.Noise == 0 {
+		t.Fatal("no noise emitted")
+	}
+	// Corrections land after the span.
+	next := w.NextYear.AllActions(action.Window{Start: 0, End: 10 * action.Year})
+	for _, a := range next {
+		if a.T < w.Span.End {
+			t.Fatalf("correction inside the span: %v", a)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultParams(USPoliticians(), 40)
+	w1, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.History.ActionCount() != w2.History.ActionCount() {
+		t.Fatal("same seed must generate identical histories")
+	}
+	if len(w1.Truth) != len(w2.Truth) {
+		t.Fatal("truth diverged")
+	}
+	for i := range w1.Truth {
+		if w1.Truth[i].Scenario != w2.Truth[i].Scenario ||
+			w1.Truth[i].Window != w2.Truth[i].Window ||
+			len(w1.Truth[i].Actions) != len(w2.Truth[i].Actions) {
+			t.Fatalf("instance %d diverged", i)
+		}
+	}
+	p.Seed = 99
+	w3, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.History.ActionCount() == w1.History.ActionCount() &&
+		len(w3.Truth) == len(w1.Truth) &&
+		w3.Noise == w1.Noise {
+		// Extremely unlikely for all three to coincide with another seed.
+		t.Fatal("different seed produced identical world")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	p := DefaultParams(Soccer(), 0)
+	if _, err := Generate(p); err == nil {
+		t.Fatal("zero seeds should error")
+	}
+	bad := DefaultParams(Soccer(), 10)
+	bad.Domain.Catalog = append([]Scenario(nil), bad.Domain.Catalog...)
+	bad.Domain.Catalog[0].WindowWidth = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("invalid scenario should error")
+	}
+	bad = DefaultParams(Soccer(), 10)
+	bad.Domain.Catalog = append([]Scenario(nil), bad.Domain.Catalog...)
+	// Catalog[2] (the transfer emitter) does validate Participation.
+	bad.Domain.Catalog[2].Participation = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("zero participation on an emitter should error")
+	}
+}
+
+func TestGenerateInstancesRespectWindows(t *testing.T) {
+	w, err := Generate(DefaultParams(Cinematography(), 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range w.Truth {
+		for _, a := range inst.Actions {
+			if !inst.Window.Contains(a.T) {
+				t.Fatalf("action %v outside its window %v", a, inst.Window)
+			}
+		}
+	}
+}
+
+func TestGenerateRoleDistinctness(t *testing.T) {
+	w, err := Generate(DefaultParams(USPoliticians(), 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range w.Truth {
+		seen := map[taxonomy.EntityID]bool{}
+		for _, e := range inst.Entities {
+			if seen[e] {
+				t.Fatalf("instance reuses entity %d: %v", e, inst.Entities)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+func TestBenignPartialsNeverCorrected(t *testing.T) {
+	p := DefaultParams(Soccer(), 80)
+	p.BenignPartialRate = 0.5
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := 0
+	for _, inst := range w.Truth {
+		if inst.IsError() && !inst.RealError {
+			benign++
+			if inst.Corrected {
+				t.Fatal("benign partial marked corrected")
+			}
+		}
+	}
+	if benign == 0 {
+		t.Fatal("expected some benign partials at rate 0.5")
+	}
+}
+
+func TestCatalogPatternsConnected(t *testing.T) {
+	for name, d := range Domains() {
+		w, err := Generate(DefaultParams(d, 30))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ps := w.CatalogPatterns()
+		if len(ps) != len(d.Catalog) {
+			t.Fatalf("%s: CatalogPatterns = %d", name, len(ps))
+		}
+		tax := w.Reg.Taxonomy()
+		for _, ip := range ps {
+			if _, ok := ip.Pattern.IsConnected(tax, d.SeedType); !ok {
+				t.Errorf("%s/%s: pattern disconnected", name, ip.Name)
+			}
+		}
+	}
+}
+
+func TestRevisionDumpRoundTrip(t *testing.T) {
+	// Rendering the history as wikitext revisions and re-ingesting them
+	// must reproduce the same reduced action sets per entity.
+	p := DefaultParams(USPoliticians(), 15)
+	p.NoiseRumors = 0.2
+	p.NoiseLoneEdits = 0.2
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revs := w.RevisionDump()
+	if len(revs) == 0 {
+		t.Fatal("no revisions rendered")
+	}
+	h := dump.NewHistory(w.Reg)
+	if err := h.IngestRevisions(revs); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range w.History.EntitiesWithActions() {
+		want := action.Reduce(w.History.ActionsOf([]taxonomy.EntityID{id}, w.Span))
+		got := action.Reduce(h.ActionsOf([]taxonomy.EntityID{id}, w.Span))
+		if !action.Equivalent(want, got) {
+			t.Fatalf("entity %s: reduced sets differ after dump round trip\nwant %v\ngot  %v",
+				w.Reg.Name(id), want, got)
+		}
+	}
+	if h.RevisionsParsed != len(revs) {
+		t.Errorf("RevisionsParsed = %d, want %d", h.RevisionsParsed, len(revs))
+	}
+}
+
+func TestTruthStatsConsistency(t *testing.T) {
+	w, err := Generate(DefaultParams(Soccer(), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.TruthStats()
+	if s.Real+s.Benign != s.Errors {
+		t.Fatalf("real %d + benign %d != errors %d", s.Real, s.Benign, s.Errors)
+	}
+	if s.Corrected > s.Real {
+		t.Fatalf("corrected %d > real %d", s.Corrected, s.Real)
+	}
+	// Correction rate roughly at the configured 0.70.
+	rate := float64(s.Corrected) / float64(s.Real)
+	if rate < 0.5 || rate > 0.9 {
+		t.Errorf("correction rate %.2f far from 0.70 (real=%d)", rate, s.Real)
+	}
+}

@@ -1,0 +1,128 @@
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EntityID is a dense integer handle for a Wikipedia entity (article). The
+// relational engine stores realization tables as EntityID columns, so the
+// handle is deliberately small.
+type EntityID int32
+
+// NoEntity is the null entity, used by outer joins for missing assignments.
+const NoEntity EntityID = -1
+
+// Registry maps entity names to IDs and records each entity's most specific
+// type (the paper assumes one most specific type per entity and labels the
+// graph node with it).
+type Registry struct {
+	tax    *Taxonomy
+	names  []string
+	types  []Type
+	byName map[string]EntityID
+	byType map[Type][]EntityID // most-specific type -> ids, insertion order
+}
+
+// NewRegistry returns an empty registry over the given taxonomy.
+func NewRegistry(tax *Taxonomy) *Registry {
+	return &Registry{
+		tax:    tax,
+		byName: map[string]EntityID{},
+		byType: map[Type][]EntityID{},
+	}
+}
+
+// Taxonomy returns the taxonomy the registry was built over.
+func (r *Registry) Taxonomy() *Taxonomy { return r.tax }
+
+// Add registers a new entity with the given most specific type and returns
+// its ID. Adding a duplicate name or an unknown type is an error.
+func (r *Registry) Add(name string, t Type) (EntityID, error) {
+	if name == "" {
+		return NoEntity, fmt.Errorf("taxonomy: empty entity name")
+	}
+	if _, ok := r.byName[name]; ok {
+		return NoEntity, fmt.Errorf("taxonomy: entity %q already registered", name)
+	}
+	if !r.tax.Has(t) {
+		return NoEntity, fmt.Errorf("taxonomy: entity %q has unknown type %q", name, t)
+	}
+	id := EntityID(len(r.names))
+	r.names = append(r.names, name)
+	r.types = append(r.types, t)
+	r.byName[name] = id
+	r.byType[t] = append(r.byType[t], id)
+	return id, nil
+}
+
+// MustAdd is Add for static construction code; it panics on error.
+func (r *Registry) MustAdd(name string, t Type) EntityID {
+	id, err := r.Add(name, t)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Len returns the number of registered entities.
+func (r *Registry) Len() int { return len(r.names) }
+
+// Name returns the entity's name, or "" for NoEntity / out of range IDs.
+func (r *Registry) Name(id EntityID) string {
+	if id < 0 || int(id) >= len(r.names) {
+		return ""
+	}
+	return r.names[id]
+}
+
+// TypeOf returns the entity's most specific type (the paper's type(e)), or
+// "" for invalid IDs.
+func (r *Registry) TypeOf(id EntityID) Type {
+	if id < 0 || int(id) >= len(r.types) {
+		return ""
+	}
+	return r.types[id]
+}
+
+// Lookup returns the ID for a name.
+func (r *Registry) Lookup(name string) (EntityID, bool) {
+	id, ok := r.byName[name]
+	return id, ok
+}
+
+// HasType reports whether entity id is of type t in the ≤ sense, i.e.
+// type(id) ≤ t.
+func (r *Registry) HasType(id EntityID, t Type) bool {
+	mt := r.TypeOf(id)
+	return mt != "" && r.tax.IsA(mt, t)
+}
+
+// EntitiesOf implements the paper's entities(t): all entities whose most
+// specific type t' satisfies t' ≤ t. The result is sorted by ID.
+func (r *Registry) EntitiesOf(t Type) []EntityID {
+	var out []EntityID
+	for _, sub := range r.tax.Descendants(t) {
+		out = append(out, r.byType[sub]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountOf returns |entities(t)| without materializing the slice.
+func (r *Registry) CountOf(t Type) int {
+	n := 0
+	for _, sub := range r.tax.Descendants(t) {
+		n += len(r.byType[sub])
+	}
+	return n
+}
+
+// All returns every entity ID in increasing order.
+func (r *Registry) All() []EntityID {
+	out := make([]EntityID, len(r.names))
+	for i := range out {
+		out[i] = EntityID(i)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+// Package taxonomy implements the type system that WiClean layers over
+// Wikipedia entities: a rooted tree of type names (the paper derives it from
+// DBPedia, typically around eight hierarchy levels deep), the generalization
+// order t' ≤ t, and an entity registry with the entities(t) inverted index
+// used by frequency computations.
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Type is a type name in the taxonomy, e.g. "SoccerPlayer" or "Athlete".
+type Type string
+
+// Root is the implicit top of every taxonomy; every type generalizes to it.
+const Root Type = "Thing"
+
+// Taxonomy is a rooted tree of types. The zero value is not usable; call New.
+//
+// The generalization order of the paper, t' ≤ t ("t equals t' or generalizes
+// it", e.g. SoccerPlayer ≤ Athlete ≤ Person), is exposed as IsA.
+type Taxonomy struct {
+	parent   map[Type]Type
+	children map[Type][]Type
+	depth    map[Type]int
+}
+
+// New returns a taxonomy containing only Root.
+func New() *Taxonomy {
+	return &Taxonomy{
+		parent:   map[Type]Type{Root: ""},
+		children: map[Type][]Type{},
+		depth:    map[Type]int{Root: 0},
+	}
+}
+
+// Add inserts t as a child of parent. It is an error to re-add an existing
+// type or to name an unknown parent.
+func (x *Taxonomy) Add(t, parent Type) error {
+	if t == "" {
+		return fmt.Errorf("taxonomy: empty type name")
+	}
+	if _, ok := x.depth[t]; ok {
+		return fmt.Errorf("taxonomy: type %q already present", t)
+	}
+	pd, ok := x.depth[parent]
+	if !ok {
+		return fmt.Errorf("taxonomy: unknown parent %q for type %q", parent, t)
+	}
+	x.parent[t] = parent
+	x.children[parent] = append(x.children[parent], t)
+	x.depth[t] = pd + 1
+	return nil
+}
+
+// MustAdd is Add for static construction code; it panics on error.
+func (x *Taxonomy) MustAdd(t, parent Type) {
+	if err := x.Add(t, parent); err != nil {
+		panic(err)
+	}
+}
+
+// AddChain adds a root-to-leaf chain of types, ignoring the ones already
+// present, and returns the last element. AddChain("Agent", "Person") hangs
+// Agent under Root and Person under Agent.
+func (x *Taxonomy) AddChain(chain ...Type) Type {
+	parent := Root
+	for _, t := range chain {
+		if !x.Has(t) {
+			x.MustAdd(t, parent)
+		}
+		parent = t
+	}
+	return parent
+}
+
+// Has reports whether t is a known type.
+func (x *Taxonomy) Has(t Type) bool {
+	_, ok := x.depth[t]
+	return ok
+}
+
+// Parent returns the parent of t, or "" for Root or an unknown type.
+func (x *Taxonomy) Parent(t Type) Type { return x.parent[t] }
+
+// Children returns the direct children of t in insertion order.
+func (x *Taxonomy) Children(t Type) []Type { return x.children[t] }
+
+// Depth returns the distance from Root (Root has depth 0). Unknown types
+// report -1.
+func (x *Taxonomy) Depth(t Type) int {
+	d, ok := x.depth[t]
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+// Len returns the number of types including Root.
+func (x *Taxonomy) Len() int { return len(x.depth) }
+
+// IsA reports the paper's sub ≤ super relation: super equals sub or
+// generalizes it. Unknown types are never related.
+func (x *Taxonomy) IsA(sub, super Type) bool {
+	if !x.Has(sub) || !x.Has(super) {
+		return false
+	}
+	for t := sub; t != ""; t = x.parent[t] {
+		if t == super {
+			return true
+		}
+	}
+	return false
+}
+
+// Comparable reports whether a ≤ b or b ≤ a.
+func (x *Taxonomy) Comparable(a, b Type) bool {
+	return x.IsA(a, b) || x.IsA(b, a)
+}
+
+// Ancestors returns t followed by its proper ancestors up to and including
+// Root. Unknown types return nil.
+func (x *Taxonomy) Ancestors(t Type) []Type {
+	if !x.Has(t) {
+		return nil
+	}
+	var out []Type
+	for cur := t; cur != ""; cur = x.parent[cur] {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// AncestorsAbove is Ancestors restricted to at most levels entries. It is
+// the hook the miner uses to bound the abstraction lattice (the paper notes
+// that supporting the full hierarchy inflates the number of candidate
+// patterns). levels < 0 means no bound.
+func (x *Taxonomy) AncestorsAbove(t Type, levels int) []Type {
+	a := x.Ancestors(t)
+	if levels >= 0 && len(a) > levels+1 {
+		a = a[:levels+1]
+	}
+	return a
+}
+
+// Descendants returns t and every type below it, in BFS order.
+func (x *Taxonomy) Descendants(t Type) []Type {
+	if !x.Has(t) {
+		return nil
+	}
+	out := []Type{t}
+	for i := 0; i < len(out); i++ {
+		out = append(out, x.children[out[i]]...)
+	}
+	return out
+}
+
+// LCA returns the lowest common ancestor of a and b (their most specific
+// shared generalization), or "" if either is unknown.
+func (x *Taxonomy) LCA(a, b Type) Type {
+	if !x.Has(a) || !x.Has(b) {
+		return ""
+	}
+	seen := map[Type]bool{}
+	for t := a; t != ""; t = x.parent[t] {
+		seen[t] = true
+	}
+	for t := b; t != ""; t = x.parent[t] {
+		if seen[t] {
+			return t
+		}
+	}
+	return Root
+}
+
+// Types returns every type in the taxonomy sorted by name. Intended for
+// deterministic iteration in tests and reports.
+func (x *Taxonomy) Types() []Type {
+	out := make([]Type, 0, len(x.depth))
+	for t := range x.depth {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks internal invariants: every non-root type has a known
+// parent and depth = parent depth + 1.
+func (x *Taxonomy) Validate() error {
+	for t, p := range x.parent {
+		if t == Root {
+			if p != "" {
+				return fmt.Errorf("taxonomy: root has parent %q", p)
+			}
+			continue
+		}
+		pd, ok := x.depth[p]
+		if !ok {
+			return fmt.Errorf("taxonomy: type %q has unknown parent %q", t, p)
+		}
+		if x.depth[t] != pd+1 {
+			return fmt.Errorf("taxonomy: type %q depth %d, parent depth %d", t, x.depth[t], pd)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package taxonomy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sportsTaxonomy(t *testing.T) *Taxonomy {
+	t.Helper()
+	x := New()
+	x.AddChain("Agent", "Person", "Athlete", "FootballPlayer", "Goalkeeper")
+	x.AddChain("Agent", "Organisation", "SportsTeam", "FootballClub")
+	x.AddChain("Agent", "Organisation", "SportsLeague")
+	if err := x.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return x
+}
+
+func TestAddRejectsDuplicatesAndUnknownParents(t *testing.T) {
+	x := New()
+	if err := x.Add("Person", Root); err != nil {
+		t.Fatalf("Add Person: %v", err)
+	}
+	if err := x.Add("Person", Root); err == nil {
+		t.Fatal("duplicate Add should fail")
+	}
+	if err := x.Add("Athlete", "Nope"); err == nil {
+		t.Fatal("Add with unknown parent should fail")
+	}
+	if err := x.Add("", Root); err == nil {
+		t.Fatal("Add with empty name should fail")
+	}
+}
+
+func TestIsAFollowsChains(t *testing.T) {
+	x := sportsTaxonomy(t)
+	cases := []struct {
+		sub, super Type
+		want       bool
+	}{
+		{"Goalkeeper", "FootballPlayer", true},
+		{"Goalkeeper", "Athlete", true},
+		{"Goalkeeper", "Person", true},
+		{"Goalkeeper", Root, true},
+		{"Goalkeeper", "Goalkeeper", true},
+		{"FootballPlayer", "Goalkeeper", false},
+		{"FootballClub", "Person", false},
+		{"FootballClub", "Organisation", true},
+		{"Missing", Root, false},
+		{Root, "Missing", false},
+	}
+	for _, c := range cases {
+		if got := x.IsA(c.sub, c.super); got != c.want {
+			t.Errorf("IsA(%s, %s) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestDepthAndAncestors(t *testing.T) {
+	x := sportsTaxonomy(t)
+	if d := x.Depth("Goalkeeper"); d != 5 {
+		t.Errorf("Depth(Goalkeeper) = %d, want 5", d)
+	}
+	if d := x.Depth(Root); d != 0 {
+		t.Errorf("Depth(Root) = %d, want 0", d)
+	}
+	if d := x.Depth("Missing"); d != -1 {
+		t.Errorf("Depth(Missing) = %d, want -1", d)
+	}
+	anc := x.Ancestors("FootballPlayer")
+	want := []Type{"FootballPlayer", "Athlete", "Person", "Agent", Root}
+	if len(anc) != len(want) {
+		t.Fatalf("Ancestors = %v, want %v", anc, want)
+	}
+	for i := range want {
+		if anc[i] != want[i] {
+			t.Fatalf("Ancestors = %v, want %v", anc, want)
+		}
+	}
+}
+
+func TestAncestorsAboveBoundsLevels(t *testing.T) {
+	x := sportsTaxonomy(t)
+	a := x.AncestorsAbove("Goalkeeper", 2)
+	if len(a) != 3 {
+		t.Fatalf("AncestorsAbove(2) = %v, want 3 entries", a)
+	}
+	if a[0] != "Goalkeeper" || a[2] != "Athlete" {
+		t.Fatalf("AncestorsAbove(2) = %v", a)
+	}
+	if got := x.AncestorsAbove("Goalkeeper", -1); len(got) != 6 {
+		t.Fatalf("AncestorsAbove(-1) = %v, want full chain", got)
+	}
+	if got := x.AncestorsAbove("Goalkeeper", 0); len(got) != 1 || got[0] != "Goalkeeper" {
+		t.Fatalf("AncestorsAbove(0) = %v", got)
+	}
+}
+
+func TestDescendantsAndLCA(t *testing.T) {
+	x := sportsTaxonomy(t)
+	desc := x.Descendants("Athlete")
+	if len(desc) != 3 { // Athlete, FootballPlayer, Goalkeeper
+		t.Fatalf("Descendants(Athlete) = %v", desc)
+	}
+	if got := x.LCA("Goalkeeper", "FootballClub"); got != "Agent" {
+		t.Errorf("LCA(Goalkeeper, FootballClub) = %s, want Agent", got)
+	}
+	if got := x.LCA("Goalkeeper", "Athlete"); got != "Athlete" {
+		t.Errorf("LCA(Goalkeeper, Athlete) = %s, want Athlete", got)
+	}
+	if got := x.LCA("Goalkeeper", "Missing"); got != "" {
+		t.Errorf("LCA with unknown = %q, want empty", got)
+	}
+}
+
+func TestComparable(t *testing.T) {
+	x := sportsTaxonomy(t)
+	if !x.Comparable("Goalkeeper", "Athlete") {
+		t.Error("Goalkeeper/Athlete should be comparable")
+	}
+	if !x.Comparable("Athlete", "Goalkeeper") {
+		t.Error("Comparable should be symmetric")
+	}
+	if x.Comparable("FootballClub", "Athlete") {
+		t.Error("FootballClub/Athlete should not be comparable")
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	x := sportsTaxonomy(t)
+	r := NewRegistry(x)
+	neymar := r.MustAdd("Neymar", "FootballPlayer")
+	buffon := r.MustAdd("Gianluigi Buffon", "Goalkeeper")
+	psg := r.MustAdd("PSG F.C.", "FootballClub")
+
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Name(neymar) != "Neymar" {
+		t.Errorf("Name(neymar) = %q", r.Name(neymar))
+	}
+	if r.TypeOf(buffon) != "Goalkeeper" {
+		t.Errorf("TypeOf(buffon) = %q", r.TypeOf(buffon))
+	}
+	if id, ok := r.Lookup("PSG F.C."); !ok || id != psg {
+		t.Errorf("Lookup(PSG) = %v, %v", id, ok)
+	}
+	if _, ok := r.Lookup("Messi"); ok {
+		t.Error("Lookup(Messi) should miss")
+	}
+	if r.Name(NoEntity) != "" || r.TypeOf(NoEntity) != "" {
+		t.Error("NoEntity should have empty name and type")
+	}
+}
+
+func TestRegistryRejectsBadInput(t *testing.T) {
+	x := sportsTaxonomy(t)
+	r := NewRegistry(x)
+	r.MustAdd("Neymar", "FootballPlayer")
+	if _, err := r.Add("Neymar", "FootballPlayer"); err == nil {
+		t.Error("duplicate entity should fail")
+	}
+	if _, err := r.Add("Someone", "UnknownType"); err == nil {
+		t.Error("unknown type should fail")
+	}
+	if _, err := r.Add("", "FootballPlayer"); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestEntitiesOfIncludesSubtypes(t *testing.T) {
+	x := sportsTaxonomy(t)
+	r := NewRegistry(x)
+	neymar := r.MustAdd("Neymar", "FootballPlayer")
+	buffon := r.MustAdd("Gianluigi Buffon", "Goalkeeper")
+	r.MustAdd("PSG F.C.", "FootballClub")
+
+	players := r.EntitiesOf("FootballPlayer")
+	if len(players) != 2 {
+		t.Fatalf("EntitiesOf(FootballPlayer) = %v, want 2", players)
+	}
+	if players[0] != neymar || players[1] != buffon {
+		t.Fatalf("EntitiesOf sorted = %v", players)
+	}
+	if n := r.CountOf("Athlete"); n != 2 {
+		t.Errorf("CountOf(Athlete) = %d, want 2", n)
+	}
+	if n := r.CountOf("Organisation"); n != 1 {
+		t.Errorf("CountOf(Organisation) = %d, want 1", n)
+	}
+	if n := r.CountOf(Root); n != 3 {
+		t.Errorf("CountOf(Root) = %d, want 3", n)
+	}
+}
+
+func TestHasType(t *testing.T) {
+	x := sportsTaxonomy(t)
+	r := NewRegistry(x)
+	buffon := r.MustAdd("Gianluigi Buffon", "Goalkeeper")
+	if !r.HasType(buffon, "Athlete") {
+		t.Error("Buffon should be an Athlete")
+	}
+	if r.HasType(buffon, "Organisation") {
+		t.Error("Buffon should not be an Organisation")
+	}
+	if r.HasType(NoEntity, Root) {
+		t.Error("NoEntity has no type")
+	}
+}
+
+// Property: IsA is reflexive for known types and transitive along any chain,
+// and Ancestors is consistent with IsA.
+func TestIsAAncestorsConsistencyProperty(t *testing.T) {
+	x := sportsTaxonomy(t)
+	types := x.Types()
+	f := func(i, j uint8) bool {
+		a := types[int(i)%len(types)]
+		b := types[int(j)%len(types)]
+		if !x.IsA(a, a) {
+			return false
+		}
+		// IsA(a, b) must agree with membership of b in Ancestors(a).
+		inAnc := false
+		for _, anc := range x.Ancestors(a) {
+			if anc == b {
+				inAnc = true
+				break
+			}
+		}
+		return x.IsA(a, b) == inAnc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CountOf(t) == len(EntitiesOf(t)) for every type.
+func TestCountMatchesEntitiesProperty(t *testing.T) {
+	x := sportsTaxonomy(t)
+	r := NewRegistry(x)
+	r.MustAdd("Neymar", "FootballPlayer")
+	r.MustAdd("Gianluigi Buffon", "Goalkeeper")
+	r.MustAdd("PSG F.C.", "FootballClub")
+	r.MustAdd("Ligue 1", "SportsLeague")
+	for _, tt := range x.Types() {
+		if r.CountOf(tt) != len(r.EntitiesOf(tt)) {
+			t.Errorf("CountOf(%s) = %d, len(EntitiesOf) = %d", tt, r.CountOf(tt), len(r.EntitiesOf(tt)))
+		}
+	}
+}

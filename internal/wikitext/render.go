@@ -1,0 +1,57 @@
+package wikitext
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderInfobox produces wikitext for an infobox holding the given
+// (relation, targets) structured links, plus arbitrary surrounding prose.
+// It is the inverse of StructuredLinks up to field ordering and is used by
+// the synthetic dump generator so that the parse-and-diff pipeline is
+// exercised end to end:
+//
+//	StructuredLinks(RenderInfobox(boxType, links)) == normalize(links)
+//
+// Multi-valued relations are rendered as numbered fields (squad1, squad2,
+// ...) the way Wikipedia infoboxes commonly encode lists, which
+// NormalizeRelation folds back together.
+func RenderInfobox(boxType string, links []Link) string {
+	byRel := map[string][]string{}
+	var rels []string
+	for _, l := range links {
+		if _, ok := byRel[l.Relation]; !ok {
+			rels = append(rels, l.Relation)
+		}
+		byRel[l.Relation] = append(byRel[l.Relation], l.Target)
+	}
+	sort.Strings(rels)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "{{Infobox %s\n", boxType)
+	for _, rel := range rels {
+		targets := byRel[rel]
+		sort.Strings(targets)
+		if len(targets) == 1 {
+			fmt.Fprintf(&b, "| %s = [[%s]]\n", rel, targets[0])
+			continue
+		}
+		for i, t := range targets {
+			fmt.Fprintf(&b, "| %s%d = [[%s]]\n", rel, i+1, t)
+		}
+	}
+	b.WriteString("}}\n")
+	return b.String()
+}
+
+// RenderArticle wraps an infobox with lead prose so parsed revisions look
+// like real article bodies (free-text links must be ignored by extraction).
+func RenderArticle(title, boxType string, links []Link) string {
+	var b strings.Builder
+	b.WriteString(RenderInfobox(boxType, links))
+	fmt.Fprintf(&b, "\n'''%s''' is an article in the synthetic encyclopedia. ", title)
+	b.WriteString("It mentions [[Some Unrelated Article]] in passing, and links a ")
+	b.WriteString("[[File:Photo.jpg|thumb|photo]] that extraction must skip.\n")
+	return b.String()
+}

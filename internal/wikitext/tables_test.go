@@ -1,0 +1,110 @@
+package wikitext
+
+import (
+	"reflect"
+	"testing"
+)
+
+const squadTable = `
+'''PSG F.C.''' is a club.
+
+{| class="wikitable"
+|+ Current squad
+|-
+! No. !! Player
+|-
+| 10 || [[Neymar]]
+|-
+| 7 || [[Kylian Mbappe]]
+|}
+
+{| class="wikitable"
+|+ Former squad
+|-
+| [[Zlatan Ibrahimovic]]
+|}
+`
+
+func TestParseTables(t *testing.T) {
+	tables := ParseTables(squadTable)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	if tables[0].Caption != "Current squad" {
+		t.Errorf("caption = %q", tables[0].Caption)
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Fatalf("rows = %v", tables[0].Rows)
+	}
+	if tables[0].Rows[0][0] != "Neymar" {
+		t.Errorf("row 0 = %v", tables[0].Rows[0])
+	}
+	if tables[1].Rows[0][0] != "Zlatan Ibrahimovic" {
+		t.Errorf("second table = %v", tables[1].Rows)
+	}
+}
+
+func TestParseTablesUnterminated(t *testing.T) {
+	tables := ParseTables("{|\n|+ Cap\n|-\n| [[X]]\n")
+	if len(tables) != 1 || len(tables[0].Rows) != 1 {
+		t.Fatalf("unterminated = %v", tables)
+	}
+}
+
+func TestParseTablesNone(t *testing.T) {
+	if got := ParseTables("no tables here, just | pipes"); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTableLinks(t *testing.T) {
+	links := TableLinks(squadTable)
+	want := []Link{
+		{Relation: "current_squad", Target: "Neymar"},
+		{Relation: "current_squad", Target: "Kylian Mbappe"},
+		{Relation: "former_squad", Target: "Zlatan Ibrahimovic"},
+	}
+	if !reflect.DeepEqual(links, want) {
+		t.Fatalf("TableLinks = %v, want %v", links, want)
+	}
+}
+
+func TestTableLinksSkipsCaptionless(t *testing.T) {
+	text := "{|\n|-\n| [[X]]\n|}"
+	if got := TableLinks(text); got != nil {
+		t.Fatalf("captionless table leaked: %v", got)
+	}
+}
+
+func TestAllStructuredLinksUnionsInfoboxAndTables(t *testing.T) {
+	text := `{{Infobox club
+| league = [[Ligue 1]]
+}}
+{| class="wikitable"
+|+ Current squad
+|-
+| [[Neymar]]
+|}`
+	links := AllStructuredLinks(text)
+	if len(links) != 2 {
+		t.Fatalf("links = %v", links)
+	}
+	rels := map[string]bool{}
+	for _, l := range links {
+		rels[l.Relation] = true
+	}
+	if !rels["league"] || !rels["current_squad"] {
+		t.Fatalf("relations = %v", rels)
+	}
+}
+
+func TestTableCellsSplitOnDoublePipe(t *testing.T) {
+	text := "{|\n|+ row\n|-\n| [[A]] || [[B]] || plain\n|}"
+	tables := ParseTables(text)
+	if len(tables) != 1 {
+		t.Fatal("one table expected")
+	}
+	if !reflect.DeepEqual(tables[0].Rows[0], []string{"A", "B"}) {
+		t.Fatalf("cells = %v", tables[0].Rows[0])
+	}
+}

@@ -1,0 +1,74 @@
+package windows
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wiclean/internal/action"
+	"wiclean/internal/taxonomy"
+)
+
+// Model is the serializable product of a mining run: the discovered
+// patterns with their windows and settings. Mining is the expensive offline
+// stage ("very reasonable for offline computation", §6.2); persisting the
+// model lets detection and assistance restart without re-mining.
+type Model struct {
+	SeedType taxonomy.Type       `json:"seed_type"`
+	Span     action.Window       `json:"span"`
+	Width    action.Time         `json:"width"`
+	Tau      float64             `json:"tau"`
+	Patterns []DiscoveredPattern `json:"patterns"`
+}
+
+// Model extracts the serializable part of the outcome.
+func (o *Outcome) Model() *Model {
+	return &Model{
+		SeedType: o.SeedType,
+		Span:     o.Span,
+		Width:    o.Width,
+		Tau:      o.Tau,
+		Patterns: o.Discovered,
+	}
+}
+
+// Outcome rebuilds a minimal outcome from the model — enough for the
+// detection and assistance stages (Discovered, Span, the final setting).
+// Per-window mining results and seeds are not persisted.
+func (m *Model) Outcome() *Outcome {
+	return &Outcome{
+		SeedType:   m.SeedType,
+		Span:       m.Span,
+		Width:      m.Width,
+		Tau:        m.Tau,
+		Discovered: m.Patterns,
+	}
+}
+
+// WriteModel serializes the model as indented JSON.
+func WriteModel(w io.Writer, m *Model) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("windows: encoding model: %w", err)
+	}
+	return nil
+}
+
+// ReadModel parses a model written by WriteModel and validates its
+// patterns.
+func ReadModel(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("windows: decoding model: %w", err)
+	}
+	for i, d := range m.Patterns {
+		if err := d.Pattern.Validate(); err != nil {
+			return nil, fmt.Errorf("windows: model pattern %d: %w", i, err)
+		}
+		if d.Width <= 0 {
+			return nil, fmt.Errorf("windows: model pattern %d has width %d", i, d.Width)
+		}
+	}
+	return &m, nil
+}

@@ -1,0 +1,210 @@
+package windows
+
+import (
+	"fmt"
+	"time"
+
+	"wiclean/internal/action"
+	"wiclean/internal/mining"
+	"wiclean/internal/taxonomy"
+)
+
+// Run executes Algorithm 2: split span into W_min-sized windows, mine them
+// all, and refine (window ×WindowFactor alternating with threshold
+// −TauCut·100%) for as long as refinement keeps discovering new patterns,
+// within the [MinWindow, MaxWindow] and [MinTau, InitialTau] bounds. The
+// relative-patterns stage then runs over the converged windows.
+func Run(store mining.Store, seeds []taxonomy.EntityID, seedType taxonomy.Type,
+	span action.Window, cfg Config) (*Outcome, error) {
+
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Mining.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 16
+	}
+	patience := cfg.Patience
+	if patience <= 0 {
+		patience = 6
+	}
+
+	out := &Outcome{
+		SeedType: seedType,
+		Seeds:    seeds,
+		Span:     span,
+	}
+	seen := map[string]int{} // canonical -> index into out.Discovered
+
+	width := cfg.MinWindow
+	tau := cfg.InitialTau
+	widenNext := true // alternation state: widen first, then cut, ...
+	noProgress := 0   // consecutive refinement steps without new patterns
+
+	var finalResults []*mining.Result
+	var finalWindows []action.Window
+
+	for step := 0; ; step++ {
+		mcfg := cfg.Mining
+		mcfg.Tau = tau
+		wins := span.Split(width)
+		results, err := mineAll(store, seeds, seedType, wins, mcfg, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		newFound := 0
+		total := 0
+		for i, res := range results {
+			out.Stats.Add(res.Stats)
+			out.WindowDurations = append(out.WindowDurations, res.Stats.Preprocessing+res.Stats.Mining)
+			for _, sp := range res.Patterns {
+				total++
+				key := sp.Pattern.Canonical()
+				d := DiscoveredPattern{
+					Pattern:     sp.Pattern,
+					Frequency:   sp.Frequency,
+					SourceCount: sp.SourceCount,
+					Window:      wins[i],
+					Width:       width,
+					Tau:         tau,
+				}
+				if idx, ok := seen[key]; ok {
+					if sp.Frequency > out.Discovered[idx].Frequency {
+						out.Discovered[idx] = d
+					}
+					continue
+				}
+				seen[key] = len(out.Discovered)
+				out.Discovered = append(out.Discovered, d)
+				newFound++
+			}
+		}
+		finalResults, finalWindows = results, wins
+		out.Width, out.Tau = width, tau
+		out.RefinementSteps = step
+
+		// refine? — continue while nothing qualified yet or while
+		// refinement keeps surfacing additional patterns (§4.3). Because
+		// the schedule alternates widening with threshold cuts, a full
+		// alternation cycle (two consecutive steps) must come up empty
+		// before the walk stops: a fruitless widening step alone says
+		// nothing about what the next threshold cut would reveal.
+		if newFound > 0 || total == 0 {
+			noProgress = 0
+		} else {
+			noProgress++
+		}
+		if (noProgress >= patience && step > 0) || step >= maxSteps {
+			break
+		}
+		nw, nt, ok := nextSetting(width, tau, &widenNext, cfg, span)
+		if !ok {
+			break
+		}
+		width, tau = nw, nt
+	}
+
+	out.Windows = make([]WindowResult, len(finalResults))
+	for i, res := range finalResults {
+		out.Windows[i] = WindowResult{Window: finalWindows[i], Result: res}
+	}
+
+	if !cfg.SkipRelative {
+		if err := relativeStage(store, out, cfg); err != nil {
+			return nil, err
+		}
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// nextSetting advances the refinement alternation, skipping moves that
+// would breach a bound; it reports false when both directions are
+// exhausted.
+func nextSetting(width action.Time, tau float64, widenNext *bool, cfg Config, span action.Window) (action.Time, float64, bool) {
+	widen := func() (action.Time, bool) {
+		if cfg.WindowFactor <= 1 {
+			return width, false // a 1.0x policy never widens (Table 1 row 2)
+		}
+		nw := action.Time(float64(width) * cfg.WindowFactor)
+		// Clamp at the bounds ("up to a maximal window size of one year")
+		// rather than skipping the final widening: the last, largest
+		// window setting is often where low-participation periodic
+		// patterns finally accumulate enough unioned support.
+		if nw > cfg.MaxWindow {
+			nw = cfg.MaxWindow
+		}
+		if nw > span.Width() {
+			nw = span.Width()
+		}
+		if nw <= width {
+			return width, false
+		}
+		return nw, true
+	}
+	cut := func() (float64, bool) {
+		if cfg.TauCut == 0 {
+			return tau, false
+		}
+		nt := tau * (1 - cfg.TauCut)
+		if nt < cfg.MinTau {
+			return tau, false
+		}
+		return nt, true
+	}
+	for attempts := 0; attempts < 2; attempts++ {
+		if *widenNext {
+			*widenNext = false
+			if nw, ok := widen(); ok {
+				return nw, tau, true
+			}
+		} else {
+			*widenNext = true
+			if nt, ok := cut(); ok {
+				return width, nt, true
+			}
+		}
+	}
+	return width, tau, false
+}
+
+// relativeStage runs MineRelative over every final window in parallel
+// (Algorithm 2, lines 13–14).
+func relativeStage(store mining.Store, out *Outcome, cfg Config) error {
+	mcfg := cfg.Mining
+	mcfg.Tau = out.Tau
+	type job struct {
+		i   int
+		rel map[string][]mining.RelativePattern
+		err error
+	}
+	jobs := make(chan int)
+	done := make(chan job)
+	for w := 0; w < workerCount(cfg.Workers); w++ {
+		go func() {
+			for i := range jobs {
+				rel, err := mining.MineRelative(store, out.Windows[i].Result, mcfg)
+				done <- job{i: i, rel: rel, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range out.Windows {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	var firstErr error
+	for range out.Windows {
+		j := <-done
+		if j.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("windows: relative stage: %w", j.err)
+		}
+		out.Windows[j.i].Relative = j.rel
+	}
+	return firstErr
+}

@@ -1,0 +1,184 @@
+// Package windows implements Algorithm 2 of the paper: splitting the
+// revision timeline into non-overlapping windows, mining each window (in
+// parallel — the paper calls the per-window loop "embarrassingly
+// parallelized"), and iteratively refining the window width and frequency
+// threshold until the discovered pattern set stabilizes, followed by the
+// relative-frequent-patterns stage.
+package windows
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"wiclean/internal/action"
+	"wiclean/internal/mining"
+	"wiclean/internal/pattern"
+	"wiclean/internal/taxonomy"
+)
+
+// Config holds the Algorithm 2 parameters and the refinement policy of
+// §4.3. The defaults mirror the paper: two-week minimal window, one-year
+// maximal window, thresholds refined from the initial value down to 0.2 by
+// alternating "multiply the window size by two" and "reduce the frequency
+// threshold by 20%".
+type Config struct {
+	MinWindow    action.Time // W_min, the initial window width
+	MaxWindow    action.Time // refinement stops widening beyond this
+	InitialTau   float64     // starting frequency threshold
+	MinTau       float64     // refinement stops cutting below this
+	WindowFactor float64     // widening multiplier per refinement step
+	TauCut       float64     // fractional threshold reduction per step
+	Workers      int         // parallel window workers; <=0 = GOMAXPROCS
+	MaxSteps     int         // hard bound on refinement steps; <=0 = 16
+
+	// Patience is how many consecutive fruitless refinement steps the walk
+	// tolerates once at least one pattern has been found (<=0 = 4). The
+	// alternating schedule interleaves widening and threshold cuts, so a
+	// single fruitless step says little; larger patience walks deeper
+	// (better recall, more runtime and noise exposure), which is exactly
+	// the trade-off Table 1 explores.
+	Patience int
+
+	// Mining configures the per-window miner; its Tau field is overridden
+	// by the refinement loop.
+	Mining mining.Config
+
+	// SkipRelative disables the relative-patterns stage (used by running
+	// time experiments that only measure the frequent-patterns stage).
+	SkipRelative bool
+}
+
+// Defaults returns the paper's default configuration.
+func Defaults() Config {
+	return Config{
+		MinWindow:    2 * action.Week,
+		MaxWindow:    action.Year,
+		InitialTau:   0.7,
+		MinTau:       0.2,
+		WindowFactor: 2.0,
+		TauCut:       0.20,
+		Mining:       mining.PM(0.7),
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.MinWindow <= 0 {
+		return fmt.Errorf("windows: MinWindow %d <= 0", c.MinWindow)
+	}
+	if c.MaxWindow < c.MinWindow {
+		return fmt.Errorf("windows: MaxWindow %d < MinWindow %d", c.MaxWindow, c.MinWindow)
+	}
+	if c.InitialTau <= 0 || c.InitialTau > 1 {
+		return fmt.Errorf("windows: InitialTau %v out of (0, 1]", c.InitialTau)
+	}
+	if c.MinTau <= 0 || c.MinTau > c.InitialTau {
+		return fmt.Errorf("windows: MinTau %v out of (0, InitialTau]", c.MinTau)
+	}
+	if c.WindowFactor < 1 {
+		return fmt.Errorf("windows: WindowFactor %v < 1", c.WindowFactor)
+	}
+	if c.TauCut < 0 || c.TauCut >= 1 {
+		return fmt.Errorf("windows: TauCut %v out of [0, 1)", c.TauCut)
+	}
+	return nil
+}
+
+// WindowResult pairs one time window with its mining result and, after the
+// relative stage, its relative patterns keyed by base-pattern canonical
+// form.
+type WindowResult struct {
+	Window   action.Window
+	Result   *mining.Result
+	Relative map[string][]mining.RelativePattern
+}
+
+// DiscoveredPattern records a pattern together with the window and
+// refinement setting under which it was (best) observed — the paper's
+// output couples every pattern with its time frame (e.g. the simple
+// transfer pattern at a one-week window vs the complex one at two weeks).
+type DiscoveredPattern struct {
+	Pattern     pattern.Pattern
+	Frequency   float64
+	SourceCount int
+	Window      action.Window
+	Width       action.Time
+	Tau         float64
+}
+
+// String renders the discovery.
+func (d DiscoveredPattern) String() string {
+	return fmt.Sprintf("freq %.2f @ width %dd τ %.2f window %v: %s",
+		d.Frequency, d.Width/action.Day, d.Tau, d.Window, d.Pattern)
+}
+
+// Outcome is the result of a full Algorithm 2 run.
+type Outcome struct {
+	SeedType taxonomy.Type
+	Seeds    []taxonomy.EntityID
+	Span     action.Window
+
+	// Width and Tau are the converged refinement setting.
+	Width action.Time
+	Tau   float64
+
+	// Windows holds the final iteration's per-window results.
+	Windows []WindowResult
+
+	// Discovered accumulates every distinct pattern found across all
+	// refinement iterations, each with its best-frequency occurrence.
+	Discovered []DiscoveredPattern
+
+	RefinementSteps int
+	Stats           mining.Stats  // aggregated over all windows and steps
+	Elapsed         time.Duration // wall clock of the whole run
+
+	// WindowDurations records the mining time of every (window, step) job
+	// across the refinement walk — the job list a k-core scheduler would
+	// distribute (Figure 4(d)'s parallelism analysis).
+	WindowDurations []time.Duration
+}
+
+// Patterns returns the discovered patterns (already deduped across
+// iterations), sorted by descending frequency.
+func (o *Outcome) Patterns() []DiscoveredPattern { return o.Discovered }
+
+func workerCount(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// mineAll mines every window of the split in parallel and returns the
+// results in window order.
+func mineAll(store mining.Store, seeds []taxonomy.EntityID, seedType taxonomy.Type,
+	wins []action.Window, cfg mining.Config, workers int) ([]*mining.Result, error) {
+
+	results := make([]*mining.Result, len(wins))
+	errs := make([]error, len(wins))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workerCount(workers); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = mining.Mine(store, seeds, seedType, wins[i], cfg)
+			}
+		}()
+	}
+	for i := range wins {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
