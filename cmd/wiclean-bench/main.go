@@ -7,16 +7,39 @@
 //	wiclean-bench -exp quality        # one experiment
 //	wiclean-bench -all                # everything (slow)
 //	wiclean-bench -all -scale 0.2     # everything, scaled-down seed counts
+//	wiclean-bench -all -out bench.json  # machine-readable report:
+//	                                    # per-phase wall time + obs counters
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"wiclean/internal/experiments"
+	"wiclean/internal/obs"
 )
+
+// PhaseReport is one experiment phase's wall-clock cost in the JSON report.
+type PhaseReport struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// BenchReport is the -out payload: what ran, how long each phase took, and
+// the pipeline metrics that explain where the time went (joins performed,
+// patterns admitted/rejected, type pulls, windows mined, ...).
+type BenchReport struct {
+	Timestamp string        `json:"timestamp"`
+	Scale     float64       `json:"scale"`
+	Seed      uint64        `json:"seed"`
+	Workers   int           `json:"workers"`
+	Phases    []PhaseReport `json:"phases"`
+	Metrics   obs.Snapshot  `json:"metrics"`
+}
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 4a, 4b, 4c, 4d")
@@ -27,13 +50,16 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores)")
 	levels := flag.Int("abstraction", 1, "type-hierarchy levels to mine at")
 	viaDump := flag.Bool("viadump", true, "measure preprocessing through the wikitext parse path")
+	out := flag.String("out", "", "write a JSON report (phases + metrics) to this file")
 	flag.Parse()
 
+	metrics := obs.NewRegistry()
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.Abstraction = *levels
 	cfg.ViaDump = *viaDump
+	cfg.Obs = metrics
 
 	sc := func(n int) int {
 		v := int(float64(n) * *scale)
@@ -43,15 +69,27 @@ func main() {
 		return v
 	}
 
+	report := BenchReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Scale:     *scale,
+		Seed:      *seed,
+		Workers:   *workers,
+	}
+
 	ran := false
 	run := func(name string, want string, f func() error) {
 		if !*all && *fig != want && *exp != want {
 			return
 		}
 		ran = true
+		start := time.Now()
 		if err := f(); err != nil {
 			log.Fatalf("wiclean-bench: %s: %v", name, err)
 		}
+		report.Phases = append(report.Phases, PhaseReport{
+			Name:    name,
+			Seconds: time.Since(start).Seconds(),
+		})
 	}
 
 	run("figure 4a", "4a", func() error {
@@ -122,6 +160,23 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *out != "" {
+		report.Metrics = metrics.Snapshot()
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("wiclean-bench: %v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatalf("wiclean-bench: writing report: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("wiclean-bench: closing report: %v", err)
+		}
+		log.Printf("wiclean-bench: wrote %s (%d phases, %d counters)",
+			*out, len(report.Phases), len(report.Metrics.Counters))
 	}
 }
 

@@ -1,29 +1,42 @@
 // Command wiclean-server is the backend of the WiClean browser plug-in: it
 // mines patterns at startup, then serves the plugin API (see
 // internal/plugin) — mined patterns, signaled errors, periodic windows,
-// and live-edit suggestions.
+// and live-edit suggestions — plus the operational surface.
 //
 //	wiclean-server -domain soccer -seeds 300 -addr :8754
+//	wiclean-server -debug   # adds /debug/vars and /debug/pprof/
 //
 // Endpoints:
 //
-//	GET  /healthz    liveness + pattern count
-//	GET  /patterns   mined patterns with windows, frequencies and DOT graphs
-//	GET  /errors     signaled partial edits with suggestions
-//	GET  /periodic   patterns recurring with a regular period
-//	POST /suggest    advice for a live edit:
-//	                 {"subject": "...", "op": "+", "label": "...",
-//	                  "object": "...", "at": 123456}
+//	GET  /healthz     liveness + pattern count + uptime
+//	GET  /version     build info (module, version, Go) + uptime
+//	GET  /metrics     Prometheus text exposition of the pipeline metrics
+//	GET  /patterns    mined patterns with windows, frequencies and DOT graphs
+//	GET  /errors      signaled partial edits with suggestions
+//	GET  /periodic    patterns recurring with a regular period
+//	POST /suggest     advice for a live edit:
+//	                  {"subject": "...", "op": "+", "label": "...",
+//	                   "object": "...", "at": 123456}
+//	GET  /debug/vars  expvar JSON incl. the metrics snapshot (-debug only)
+//	GET  /debug/pprof/ CPU/heap/goroutine profiles (-debug only)
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to -drain seconds.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"wiclean/internal/core"
 	"wiclean/internal/mining"
+	"wiclean/internal/obs"
 	"wiclean/internal/plugin"
 	"wiclean/internal/synth"
 	"wiclean/internal/windows"
@@ -36,6 +49,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator random seed")
 	levels := flag.Int("abstraction", 1, "type-hierarchy levels to mine at")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores)")
+	debug := flag.Bool("debug", false, "expose /debug/vars and /debug/pprof/")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
 	d, err := synth.DomainByName(*domain)
@@ -52,7 +67,9 @@ func main() {
 	cfg.Mining = mining.PM(cfg.InitialTau)
 	cfg.Mining.MaxAbstraction = *levels
 	cfg.Workers = *workers
-	sys := core.New(w.History, cfg)
+
+	metrics := obs.NewRegistry()
+	sys := core.New(w.History, cfg).WithObs(metrics)
 
 	start := time.Now()
 	if _, err := sys.Mine(w.Seeds, d.SeedType, w.Span); err != nil {
@@ -62,7 +79,45 @@ func main() {
 	if err != nil {
 		log.Fatalf("wiclean-server: %v", err)
 	}
-	log.Printf("wiclean-server: %d patterns mined over %s in %v; listening on %s",
-		len(sys.Outcome().Discovered), *domain, time.Since(start).Round(time.Millisecond), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	if *debug {
+		srv.EnableDebug()
+	}
+	log.Printf("wiclean-server: %d patterns mined over %s in %v; listening on %s (debug=%v)",
+		len(sys.Outcome().Discovered), *domain, time.Since(start).Round(time.Millisecond), *addr, *debug)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// Generous write timeout: /debug/pprof/profile streams for 30s by
+		// default and /errors can be large on big worlds.
+		WriteTimeout: 120 * time.Second,
+		IdleTimeout:  120 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("wiclean-server: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("wiclean-server: shutting down, draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("wiclean-server: forced shutdown: %v", err)
+		_ = httpSrv.Close()
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("wiclean-server: %v", err)
+	}
+	log.Printf("wiclean-server: bye")
 }

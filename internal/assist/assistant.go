@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"wiclean/internal/action"
 	"wiclean/internal/detect"
 	"wiclean/internal/mining"
+	"wiclean/internal/obs"
 	"wiclean/internal/pattern"
 	"wiclean/internal/taxonomy"
 )
@@ -49,6 +51,7 @@ func (a Advice) Format(reg *taxonomy.Registry) string {
 type Assistant struct {
 	store    mining.Store
 	patterns []KnownPattern
+	obs      *obs.Registry // nil-safe metrics sink
 }
 
 // NewAssistant returns an assistant over the store with the given mined
@@ -59,11 +62,24 @@ func NewAssistant(store mining.Store, patterns []KnownPattern) *Assistant {
 	return &Assistant{store: store, patterns: ps}
 }
 
+// WithObs attaches a metrics registry (requests, advices produced,
+// suggestion latency) and returns the assistant. Nil is a safe no-op sink.
+func (a *Assistant) WithObs(r *obs.Registry) *Assistant {
+	a.obs = r
+	return a
+}
+
 // Suggest reacts to a live edit at time now: every known pattern containing
 // an abstract action the edit realizes yields one Advice, with companion
 // edits split into already-done (recorded in the pattern's current window)
 // and still-missing. Advices are ordered by pattern frequency.
 func (a *Assistant) Suggest(edit action.Action, now action.Time) []Advice {
+	start := time.Now()
+	a.obs.Counter(obs.AssistRequests).Inc()
+	defer func() {
+		a.obs.Histogram(obs.AssistSuggestSeconds, obs.DurationBuckets).
+			ObserveDuration(time.Since(start))
+	}()
 	var out []Advice
 	for _, kp := range a.patterns {
 		p := kp.Pattern
@@ -99,6 +115,7 @@ func (a *Assistant) Suggest(edit action.Action, now action.Time) []Advice {
 			break // one advice per pattern, on the first matching action
 		}
 	}
+	a.obs.Counter(obs.AssistAdvices).Add(int64(len(out)))
 	return out
 }
 

@@ -12,6 +12,7 @@ import (
 	"wiclean/internal/assist"
 	"wiclean/internal/detect"
 	"wiclean/internal/mining"
+	"wiclean/internal/obs"
 	"wiclean/internal/pattern"
 	"wiclean/internal/taxonomy"
 	"wiclean/internal/windows"
@@ -21,6 +22,7 @@ import (
 type System struct {
 	store  mining.Store
 	config windows.Config
+	obs    *obs.Registry // nil-safe; threaded through every stage
 
 	outcome *windows.Outcome
 }
@@ -28,8 +30,20 @@ type System struct {
 // New returns a system over the store with the given configuration; pass
 // windows.Defaults() for the paper's settings.
 func New(store mining.Store, config windows.Config) *System {
-	return &System{store: store, config: config}
+	return &System{store: store, config: config, obs: config.Obs}
 }
+
+// WithObs attaches a metrics registry and returns the system. Every stage
+// (mining, window refinement, detection, assistance) reports into it; a
+// nil registry — the default — is a no-op throughout, so library users
+// pay nothing.
+func (s *System) WithObs(r *obs.Registry) *System {
+	s.obs = r
+	return s
+}
+
+// Obs returns the attached metrics registry (possibly nil).
+func (s *System) Obs() *obs.Registry { return s.obs }
 
 // Store returns the revision store.
 func (s *System) Store() mining.Store { return s.store }
@@ -40,7 +54,9 @@ func (s *System) Registry() *taxonomy.Registry { return s.store.Registry() }
 // Mine runs Algorithm 2 for the seed set over the span and caches the
 // outcome for the downstream stages.
 func (s *System) Mine(seeds []taxonomy.EntityID, seedType taxonomy.Type, span action.Window) (*windows.Outcome, error) {
-	o, err := windows.Run(s.store, seeds, seedType, span, s.config)
+	cfg := s.config
+	cfg.Obs = s.obs
+	o, err := windows.Run(s.store, seeds, seedType, span, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +99,7 @@ func (s *System) DetectErrors(workers int) ([]*detect.Report, error) {
 	if s.outcome == nil {
 		return nil, fmt.Errorf("core: DetectErrors before Mine")
 	}
-	d := detect.New(s.store)
+	d := detect.New(s.store).WithObs(s.obs)
 	var tasks []detect.Task
 	for _, disc := range s.outcome.Discovered {
 		for _, win := range s.outcome.Span.Split(disc.Width) {
@@ -95,7 +111,7 @@ func (s *System) DetectErrors(workers int) ([]*detect.Report, error) {
 
 // DetectPattern runs Algorithm 3 for one pattern and window.
 func (s *System) DetectPattern(p pattern.Pattern, w action.Window) (*detect.Report, error) {
-	return detect.New(s.store).FindPartials(p, w)
+	return detect.New(s.store).WithObs(s.obs).FindPartials(p, w)
 }
 
 // Assistant builds the on-line edit assistant from the mined patterns.
@@ -112,7 +128,7 @@ func (s *System) Assistant() (*assist.Assistant, error) {
 			Width:     d.Width,
 		})
 	}
-	return assist.NewAssistant(s.store, known), nil
+	return assist.NewAssistant(s.store, known).WithObs(s.obs), nil
 }
 
 // PeriodicPatterns groups the discovered patterns' frequent windows across
@@ -124,7 +140,7 @@ func (s *System) PeriodicPatterns(tolerance float64) ([]assist.PeriodicPattern, 
 	}
 	// Re-scan each discovered pattern's occurrences: windows of its width
 	// where it has at least one full realization.
-	d := detect.New(s.store)
+	d := detect.New(s.store).WithObs(s.obs)
 	occ := map[string][]assist.Occurrence{}
 	pats := map[string]pattern.Pattern{}
 	for _, disc := range s.outcome.Discovered {

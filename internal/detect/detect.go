@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"wiclean/internal/action"
 	"wiclean/internal/mining"
+	"wiclean/internal/obs"
 	"wiclean/internal/pattern"
 	"wiclean/internal/relational"
 	"wiclean/internal/taxonomy"
@@ -123,11 +125,20 @@ func (r *Report) Format(reg *taxonomy.Registry) string {
 type Detector struct {
 	store  mining.Store
 	engine relational.Engine
+	obs    *obs.Registry // nil-safe metrics sink
 }
 
 // New returns a Detector over the store.
 func New(store mining.Store) *Detector {
 	return &Detector{store: store}
+}
+
+// WithObs attaches a metrics registry (candidates scanned, partial edits
+// signaled, detection latency) and returns the detector. Nil is a safe
+// no-op sink.
+func (d *Detector) WithObs(r *obs.Registry) *Detector {
+	d.obs = r
+	return d
 }
 
 // orderActions returns the pattern's action indices in a traversal order
@@ -185,6 +196,8 @@ func (d *Detector) FindPartials(p pattern.Pattern, w action.Window) (*Report, er
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	d.obs.Counter(obs.DetectRuns).Inc()
 	order, err := orderActions(p)
 	if err != nil {
 		return nil, err
@@ -251,7 +264,12 @@ func (d *Detector) FindPartials(p pattern.Pattern, w action.Window) (*Report, er
 	}
 
 	// Lines 10–11: tuples with nulls are the partial realizations.
-	return d.report(p, w, order, all), nil
+	rep := d.report(p, w, order, all)
+	d.obs.Counter(obs.DetectRowsScanned).Add(int64(all.Len()))
+	d.obs.Counter(obs.DetectPartials).Add(int64(len(rep.Partials)))
+	d.obs.Counter(obs.DetectFull).Add(int64(rep.FullCount))
+	d.obs.Histogram(obs.DetectSeconds, obs.DurationBuckets).ObserveDuration(time.Since(start))
+	return rep, nil
 }
 
 func (d *Detector) report(p pattern.Pattern, w action.Window, order []int, all *relational.Table) *Report {

@@ -31,8 +31,9 @@ func (d *Detector) FindAll(tasks []Task, workers int) ([]*Report, error) {
 		go func() {
 			defer wg.Done()
 			// Each worker gets its own detector so engine stats do not
-			// race; they share the read-only store.
-			local := New(d.store)
+			// race; they share the read-only store and the (atomic)
+			// metrics registry.
+			local := New(d.store).WithObs(d.obs)
 			for i := range jobs {
 				reports[i], errs[i] = local.FindPartials(tasks[i].Pattern, tasks[i].Window)
 			}

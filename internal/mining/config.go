@@ -11,6 +11,7 @@ package mining
 import (
 	"fmt"
 
+	"wiclean/internal/obs"
 	"wiclean/internal/relational"
 )
 
@@ -49,6 +50,12 @@ type Config struct {
 	// pairs then survive into the realization tables, inflating both cost
 	// and spurious support.
 	NoReduce bool
+
+	// Obs receives the miner's operational metrics (patterns admitted and
+	// rejected, realization rows, joins, incremental type pulls). Nil is a
+	// safe no-op; the registry is shared by concurrent window miners, so
+	// all updates are atomic.
+	Obs *obs.Registry
 }
 
 // Default mining parameters (the system defaults reported in §4.3/§6.1).

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wiclean/internal/action"
+	"wiclean/internal/obs"
 	"wiclean/internal/pattern"
 	"wiclean/internal/relational"
 	"wiclean/internal/taxonomy"
@@ -44,6 +45,7 @@ type miner struct {
 	processedTypes    map[taxonomy.Type]bool
 
 	stats Stats
+	obs   *obs.Registry // nil-safe metrics sink (cfg.Obs)
 }
 
 // Mine runs Algorithm 1 for one window: it finds the most specific
@@ -66,8 +68,11 @@ func Mine(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w acti
 		return nil, fmt.Errorf("mining: unknown seed type %q", seedType)
 	}
 	m := newMiner(store, seeds, seedType, w, cfg)
+	m.obs.Counter(obs.MiningRuns).Inc()
+	span := m.obs.Span("mining.mine")
 
 	pre := time.Now()
+	preSpan := span.Child("preprocess")
 	if cfg.Incremental {
 		// Line 1: extract, reduce and abstract the seed entities' actions.
 		m.extractEntities(seeds)
@@ -76,13 +81,17 @@ func Mine(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w acti
 		// graph before mining (the conventional graph-mining input).
 		m.extractAll()
 	}
+	preSpan.End()
 	m.stats.Preprocessing = time.Since(pre)
 
 	mine := time.Now()
+	growSpan := span.Child("grow")
 	m.seedSingletons()
 	m.grow()
+	growSpan.End()
 	m.stats.Mining = time.Since(mine)
 
+	m.obs.Histogram(obs.MiningSeconds, obs.DurationBuckets).ObserveDuration(span.End())
 	return m.result(), nil
 }
 
@@ -102,6 +111,7 @@ func newMiner(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w 
 		tested:            map[string]bool{},
 		extractedEntities: map[taxonomy.EntityID]bool{},
 		processedTypes:    map[taxonomy.Type]bool{},
+		obs:               cfg.Obs,
 	}
 	for _, s := range seeds {
 		m.seedSet[s] = true
@@ -124,6 +134,7 @@ func (m *miner) extractEntities(ids []taxonomy.EntityID) {
 	if len(fresh) == 0 {
 		return
 	}
+	m.obs.Counter(obs.MiningEntitiesFetched).Add(int64(len(fresh)))
 	raw := m.store.ActionsOf(fresh, m.window)
 	seen := map[taxonomy.EntityID]bool{}
 	for _, a := range raw {
@@ -149,6 +160,7 @@ func (m *miner) extractAll() {
 
 func (m *miner) ingest(raw []action.Action) {
 	m.stats.ActionsProcessed += len(raw)
+	m.obs.Counter(obs.MiningActionsIngested).Add(int64(len(raw)))
 	reduced := action.Reduce(raw)
 	if m.cfg.NoReduce {
 		reduced = raw // ablation: mine over the unreduced log
@@ -198,11 +210,13 @@ func (m *miner) seedSingletons() {
 func (m *miner) admit(p pattern.Pattern, realizations *relational.Table) bool {
 	key := p.Canonical()
 	if _, ok := m.frequent[key]; ok {
+		m.obs.Counter(obs.MiningCacheHits).Inc()
 		return false // realization cache hit: already discovered
 	}
 	count := m.seedSourceCount(realizations)
 	freq := float64(count) / float64(len(m.seeds))
 	if freq < m.cfg.Tau {
+		m.obs.Counter(obs.MiningPatternsRejected).Inc()
 		return false
 	}
 	m.frequent[key] = &ScoredPattern{
@@ -213,6 +227,8 @@ func (m *miner) admit(p pattern.Pattern, realizations *relational.Table) bool {
 	}
 	m.order = append(m.order, key)
 	m.stats.FrequentFound++
+	m.obs.Counter(obs.MiningPatternsAdmitted).Inc()
+	m.obs.Counter(obs.MiningRealizationRows).Add(int64(realizations.Len()))
 	return true
 }
 
@@ -272,6 +288,7 @@ func (m *miner) pullNewTypes() bool {
 	if len(newTypes) == 0 {
 		return false
 	}
+	m.obs.Counter(obs.MiningTypePulls).Add(int64(len(newTypes)))
 	sort.Slice(newTypes, func(i, j int) bool { return newTypes[i] < newTypes[j] })
 	for _, t := range newTypes {
 		m.extractEntities(m.reg.EntitiesOf(t))
@@ -346,10 +363,12 @@ func (m *miner) extend(sp *ScoredPattern, tmpl pattern.Template, ext pattern.Ext
 	}
 	out = out.Dedup()
 	m.stats.Join = m.engine.Stats
+	m.obs.Counter(obs.MiningExtendJoins).Inc()
 	return out
 }
 
 func (m *miner) result() *Result {
+	m.obs.Counter(obs.MiningCandidates).Add(int64(m.stats.Candidates))
 	res := &Result{
 		SeedType: m.seedType,
 		Seeds:    m.seeds,

@@ -1,0 +1,47 @@
+package obs
+
+// Canonical metric names used across the pipeline. Keeping them in one
+// place is the contract between the instrumented packages, the /metrics
+// endpoint, the bench report, and the README's operations section.
+const (
+	// Algorithm 1 (internal/mining).
+	MiningPatternsAdmitted = "wiclean_mining_patterns_admitted_total"
+	MiningPatternsRejected = "wiclean_mining_patterns_rejected_total"
+	MiningCacheHits        = "wiclean_mining_realization_cache_hits_total"
+	MiningCandidates       = "wiclean_mining_candidates_total"
+	MiningRealizationRows  = "wiclean_mining_realization_rows_total"
+	MiningExtendJoins      = "wiclean_mining_extend_joins_total"
+	MiningTypePulls        = "wiclean_mining_type_pulls_total"
+	MiningEntitiesFetched  = "wiclean_mining_entities_fetched_total"
+	MiningActionsIngested  = "wiclean_mining_actions_ingested_total"
+	MiningRuns             = "wiclean_mining_runs_total"
+	MiningSeconds          = "wiclean_mining_duration_seconds"
+
+	// Algorithm 2 (internal/windows).
+	WindowsRefinementSteps = "wiclean_windows_refinement_steps_total"
+	WindowsMined           = "wiclean_windows_mined_total"
+	WindowsDiscovered      = "wiclean_windows_patterns_discovered_total"
+	WindowsMineSeconds     = "wiclean_windows_mine_duration_seconds"
+	WindowsWidthDays       = "wiclean_windows_width_days"
+	WindowsTau             = "wiclean_windows_tau"
+
+	// Algorithm 3 (internal/detect).
+	DetectRuns        = "wiclean_detect_runs_total"
+	DetectRowsScanned = "wiclean_detect_rows_scanned_total"
+	DetectPartials    = "wiclean_detect_partials_total"
+	DetectFull        = "wiclean_detect_full_realizations_total"
+	DetectSeconds     = "wiclean_detect_duration_seconds"
+
+	// Edit assistance (internal/assist).
+	AssistRequests       = "wiclean_assist_requests_total"
+	AssistAdvices        = "wiclean_assist_advices_total"
+	AssistSuggestSeconds = "wiclean_assist_suggest_duration_seconds"
+
+	// HTTP surface (internal/plugin). Both carry a path label; the
+	// request counter adds a status-class code label.
+	HTTPRequests       = "wiclean_http_requests_total"
+	HTTPRequestSeconds = "wiclean_http_request_duration_seconds"
+
+	// Span aggregates render under this summary name with a span label.
+	SpanSeconds = "wiclean_span_duration_seconds"
+)

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("same name should return the same counter")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestConcurrentCountersAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("level").Add(1)
+				r.Histogram("h", CountBuckets).Observe(float64(j % 7))
+				sp := r.Span("work")
+				sp.Child("inner").End()
+				sp.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	want := int64(goroutines * per)
+	if got := r.Counter("shared_total").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("level").Value(); got != float64(want) {
+		t.Errorf("gauge = %v, want %d", got, want)
+	}
+	h := r.Histogram("h", nil)
+	if got := h.Count(); got != uint64(want) {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	var bucketSum uint64
+	s := r.Snapshot()
+	for _, c := range s.Histograms["h"].Counts {
+		bucketSum += c
+	}
+	if bucketSum != uint64(want) {
+		t.Errorf("bucket total = %d, want %d", bucketSum, want)
+	}
+	if s.Spans["work"].Count != want || s.Spans["work/inner"].Count != want {
+		t.Errorf("span counts = %+v, want %d each", s.Spans, want)
+	}
+}
+
+func TestSnapshotStability(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b").Set(1.25)
+	r.Histogram("c_seconds", DurationBuckets).Observe(0.003)
+	r.Span("s").End()
+
+	s1, s2 := r.Snapshot(), r.Snapshot()
+	// Quiesced registry: repeated snapshots must agree exactly.
+	j1, _ := json.Marshal(s1)
+	j2, _ := json.Marshal(s2)
+	if string(j1) != string(j2) {
+		t.Fatalf("snapshots differ:\n%s\n%s", j1, j2)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatalf("snapshot JSON round-trip: %v", err)
+	}
+	if !reflect.DeepEqual(back.Counters, s1.Counters) {
+		t.Fatalf("counters round-trip: %v vs %v", back.Counters, s1.Counters)
+	}
+
+	var p1, p2 strings.Builder
+	_ = s1.WritePrometheus(&p1)
+	_ = s2.WritePrometheus(&p2)
+	if p1.String() != p2.String() {
+		t.Fatal("prometheus rendering is not deterministic")
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Add(7)
+	r.Counter(Labeled("req_total", "path", "/a", "code", "2xx")).Add(2)
+	r.Gauge("width_days").Set(14)
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.5)
+	h.Observe(5)
+	hl := r.Histogram(Labeled("lab_seconds", "path", "/a"), []float64{1})
+	hl.Observe(0.5)
+	r.Span("mine").End()
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE x_total counter",
+		"x_total 7",
+		`req_total{path="/a",code="2xx"} 2`,
+		"# TYPE width_days gauge",
+		"width_days 14",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.505",
+		"lat_seconds_count 3",
+		`lab_seconds_bucket{path="/a",le="1"} 1`,
+		`lab_seconds_bucket{path="/a",le="+Inf"} 1`,
+		`lab_seconds_sum{path="/a"} 0.5`,
+		`lab_seconds_count{path="/a"} 1`,
+		"# TYPE wiclean_span_duration_seconds summary",
+		`wiclean_span_duration_seconds_count{span="mine"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(10)
+	if r.Counter("x").Value() != 0 {
+		t.Error("nil counter should read 0")
+	}
+	r.Gauge("g").Set(3)
+	r.Gauge("g").Add(1)
+	if r.Gauge("g").Value() != 0 {
+		t.Error("nil gauge should read 0")
+	}
+	h := r.Histogram("h", DurationBuckets)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram should read 0")
+	}
+	sp := r.Span("s").Child("c")
+	if sp.End() != 0 {
+		t.Error("nil span End should return 0")
+	}
+	ran := false
+	r.Time("t", func() { ran = true })
+	if !ran {
+		t.Error("Time must run f on a nil registry")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Spans) != 0 {
+		t.Error("nil snapshot should be empty")
+	}
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	r.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("nil MetricsHandler status = %d", rec.Code)
+	}
+}
+
+func TestHTTPMiddleware(t *testing.T) {
+	r := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprint(w, "ok") })
+	mux.HandleFunc("/fail", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	})
+	h := r.HTTPMiddleware(mux, "/ok", "/fail", "/debug/")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	for _, path := range []string{"/ok", "/ok", "/fail", "/unknown", "/debug/pprof/x"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	checks := map[string]int64{
+		Labeled(HTTPRequests, "path", "/ok", "code", "2xx"):     2,
+		Labeled(HTTPRequests, "path", "/fail", "code", "5xx"):   1,
+		Labeled(HTTPRequests, "path", "other", "code", "4xx"):   1,
+		Labeled(HTTPRequests, "path", "/debug/", "code", "4xx"): 1,
+	}
+	for name, want := range checks {
+		if got := r.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := r.Histogram(Labeled(HTTPRequestSeconds, "path", "/ok"), nil).Count(); got != 2 {
+		t.Errorf("latency histogram count = %d, want 2", got)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRegistry()
+	root := r.Span("outer")
+	child := root.Child("inner")
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+	s := r.Snapshot()
+	if s.Spans["outer"].Count != 1 || s.Spans["outer/inner"].Count != 1 {
+		t.Fatalf("span paths = %v", s.Spans)
+	}
+	if s.Spans["outer"].TotalSeconds < s.Spans["outer/inner"].TotalSeconds {
+		t.Error("outer span should dominate its child")
+	}
+	if len(s.Recent) != 2 {
+		t.Fatalf("recent ring = %d records, want 2", len(s.Recent))
+	}
+}
+
+func TestRecentSpanRingBounded(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < recentSpanCap+50; i++ {
+		r.Span("s").End()
+	}
+	if got := len(r.Snapshot().Recent); got != recentSpanCap {
+		t.Fatalf("ring size = %d, want %d", got, recentSpanCap)
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("m"); got != "m" {
+		t.Errorf("Labeled no pairs = %q", got)
+	}
+	got := Labeled("m", "a", `x"y`, "b", `p\q`)
+	want := `m{a="x\"y",b="p\\q"}`
+	if got != want {
+		t.Errorf("Labeled = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is a named timer for one pipeline stage. Spans nest: Child opens a
+// sub-span whose path is parent-path + "/" + name, so a trace of
+//
+//	windows.run → step00 → mine
+//
+// aggregates under "windows.run", "windows.run/step00" and
+// "windows.run/step00/mine". End records the duration into the registry's
+// per-path aggregate and the recent-span ring buffer. A nil *Span (from a
+// nil registry) is a no-op that still hands out nil children.
+type Span struct {
+	reg   *Registry
+	path  string
+	start time.Time
+}
+
+// spanStat aggregates finished spans of one path.
+type spanStat struct {
+	mu    sync.Mutex
+	count int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// SpanRecord is one finished span in the recent-trace ring.
+type SpanRecord struct {
+	Path    string        `json:"path"`
+	Start   time.Time     `json:"start"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Span opens a root span with the given path name. Nil-safe.
+func (r *Registry) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, path: name, start: time.Now()}
+}
+
+// Child opens a nested span under s. Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{reg: s.reg, path: s.path + "/" + name, start: time.Now()}
+}
+
+// End closes the span, folds its duration into the per-path aggregate and
+// the recent ring, and returns the elapsed time. Nil-safe (0).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	elapsed := time.Since(s.start)
+	r := s.reg
+
+	r.mu.Lock()
+	st := r.spans[s.path]
+	if st == nil {
+		st = &spanStat{}
+		r.spans[s.path] = st
+	}
+	rec := SpanRecord{Path: s.path, Start: s.start, Elapsed: elapsed}
+	if len(r.recent) < recentSpanCap {
+		r.recent = append(r.recent, rec)
+	} else {
+		r.recent[r.recentPos] = rec
+	}
+	r.recentPos = (r.recentPos + 1) % recentSpanCap
+	r.mu.Unlock()
+
+	st.mu.Lock()
+	st.count++
+	st.total += elapsed
+	if st.count == 1 || elapsed < st.min {
+		st.min = elapsed
+	}
+	if elapsed > st.max {
+		st.max = elapsed
+	}
+	st.mu.Unlock()
+	return elapsed
+}
+
+// Time runs f under a span named path and returns its duration. Nil-safe:
+// with a nil registry f still runs, untimed.
+func (r *Registry) Time(path string, f func()) time.Duration {
+	sp := r.Span(path)
+	f()
+	return sp.End()
+}

@@ -7,13 +7,19 @@ package plugin
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"time"
 
 	"wiclean/internal/action"
 	"wiclean/internal/assist"
 	"wiclean/internal/core"
 	"wiclean/internal/detect"
+	"wiclean/internal/obs"
 	"wiclean/internal/taxonomy"
 )
 
@@ -70,10 +76,15 @@ type Server struct {
 	reg       *taxonomy.Registry
 	assistant *assist.Assistant
 	reports   []*detect.Report
+	obs       *obs.Registry // the system's registry (possibly nil)
+	start     time.Time
+	debug     bool
 }
 
 // NewServer wraps a system whose Mine stage has already run; it eagerly
-// computes the error reports and the assistant.
+// computes the error reports and the assistant. The server reuses the
+// system's metrics registry (see core.System.WithObs) for its HTTP
+// metrics and the /metrics endpoint.
 func NewServer(sys *core.System, workers int) (*Server, error) {
 	if sys.Outcome() == nil {
 		return nil, fmt.Errorf("plugin: NewServer requires a mined system")
@@ -91,18 +102,47 @@ func NewServer(sys *core.System, workers int) (*Server, error) {
 		reg:       sys.Registry(),
 		assistant: assistant,
 		reports:   reports,
+		obs:       sys.Obs(),
+		start:     time.Now(),
 	}, nil
 }
 
-// Handler returns the HTTP mux with every plugin endpoint mounted.
+// EnableDebug mounts the debug surface — /debug/vars (expvar, including
+// the metrics snapshot) and /debug/pprof/ — on handlers returned by
+// subsequent Handler calls. Off by default: profiling endpoints leak
+// implementation detail and should be opt-in per deployment.
+func (s *Server) EnableDebug() { s.debug = true }
+
+// knownPaths bounds the path-label cardinality of the HTTP metrics.
+var knownPaths = []string{
+	"/healthz", "/version", "/metrics",
+	"/patterns", "/errors", "/periodic", "/suggest",
+	"/debug/",
+}
+
+// Handler returns the HTTP mux with every plugin endpoint mounted, plus
+// the ops surface (/metrics, /version, and — with EnableDebug —
+// /debug/vars and /debug/pprof/), all wrapped in the per-endpoint metrics
+// middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /version", s.handleVersion)
+	mux.Handle("GET /metrics", s.obs.MetricsHandler())
 	mux.HandleFunc("GET /patterns", s.handlePatterns)
 	mux.HandleFunc("GET /errors", s.handleErrors)
 	mux.HandleFunc("GET /periodic", s.handlePeriodic)
 	mux.HandleFunc("POST /suggest", s.handleSuggest)
-	return mux
+	if s.debug {
+		s.obs.PublishExpvar("wiclean")
+		mux.Handle("GET /debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.obs.HTTPMiddleware(mux, knownPaths...)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -117,7 +157,37 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{"ok": true, "patterns": len(s.sys.Outcome().Discovered)})
+	writeJSON(w, map[string]any{
+		"ok":             true,
+		"patterns":       len(s.sys.Outcome().Discovered),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// VersionInfo is the build identity served at /version.
+type VersionInfo struct {
+	Module        string  `json:"module"`
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	v := VersionInfo{
+		Module:        "wiclean",
+		Version:       "(devel)",
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			v.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			v.Version = bi.Main.Version
+		}
+	}
+	writeJSON(w, v)
 }
 
 func (s *Server) handlePatterns(w http.ResponseWriter, _ *http.Request) {

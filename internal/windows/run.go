@@ -6,6 +6,7 @@ import (
 
 	"wiclean/internal/action"
 	"wiclean/internal/mining"
+	"wiclean/internal/obs"
 	"wiclean/internal/taxonomy"
 )
 
@@ -24,6 +25,9 @@ func Run(store mining.Store, seeds []taxonomy.EntityID, seedType taxonomy.Type,
 		return nil, err
 	}
 	start := time.Now()
+	cfg.Mining.Obs = cfg.Obs // forward the registry to every window miner
+	runSpan := cfg.Obs.Span("windows.run")
+	defer runSpan.End()
 	maxSteps := cfg.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 16
@@ -52,15 +56,25 @@ func Run(store mining.Store, seeds []taxonomy.EntityID, seedType taxonomy.Type,
 		mcfg := cfg.Mining
 		mcfg.Tau = tau
 		wins := span.Split(width)
+		// τ/width trajectory: the gauges track the refinement walk live and
+		// end at the converged setting.
+		cfg.Obs.Counter(obs.WindowsRefinementSteps).Inc()
+		cfg.Obs.Gauge(obs.WindowsWidthDays).Set(float64(width / action.Day))
+		cfg.Obs.Gauge(obs.WindowsTau).Set(tau)
+		stepSpan := runSpan.Child(fmt.Sprintf("step%02d", step))
 		results, err := mineAll(store, seeds, seedType, wins, mcfg, cfg.Workers)
+		stepSpan.End()
 		if err != nil {
 			return nil, err
 		}
+		cfg.Obs.Counter(obs.WindowsMined).Add(int64(len(wins)))
 		newFound := 0
 		total := 0
 		for i, res := range results {
 			out.Stats.Add(res.Stats)
-			out.WindowDurations = append(out.WindowDurations, res.Stats.Preprocessing+res.Stats.Mining)
+			dur := res.Stats.Preprocessing + res.Stats.Mining
+			cfg.Obs.Histogram(obs.WindowsMineSeconds, obs.DurationBuckets).ObserveDuration(dur)
+			out.WindowDurations = append(out.WindowDurations, dur)
 			for _, sp := range res.Patterns {
 				total++
 				key := sp.Pattern.Canonical()
@@ -83,6 +97,7 @@ func Run(store mining.Store, seeds []taxonomy.EntityID, seedType taxonomy.Type,
 				newFound++
 			}
 		}
+		cfg.Obs.Counter(obs.WindowsDiscovered).Add(int64(newFound))
 		finalResults, finalWindows = results, wins
 		out.Width, out.Tau = width, tau
 		out.RefinementSteps = step
@@ -114,7 +129,10 @@ func Run(store mining.Store, seeds []taxonomy.EntityID, seedType taxonomy.Type,
 	}
 
 	if !cfg.SkipRelative {
-		if err := relativeStage(store, out, cfg); err != nil {
+		relSpan := runSpan.Child("relative")
+		err := relativeStage(store, out, cfg)
+		relSpan.End()
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -14,6 +14,7 @@ import (
 
 	"wiclean/internal/action"
 	"wiclean/internal/mining"
+	"wiclean/internal/obs"
 	"wiclean/internal/pattern"
 	"wiclean/internal/taxonomy"
 )
@@ -48,6 +49,11 @@ type Config struct {
 	// SkipRelative disables the relative-patterns stage (used by running
 	// time experiments that only measure the frequent-patterns stage).
 	SkipRelative bool
+
+	// Obs receives the refinement walk's metrics (steps, per-window mining
+	// durations, the τ/width trajectory) and is forwarded to every
+	// per-window miner. Nil is a safe no-op.
+	Obs *obs.Registry
 }
 
 // Defaults returns the paper's default configuration.

@@ -34,6 +34,7 @@ import (
 	"wiclean/internal/detect"
 	"wiclean/internal/dump"
 	"wiclean/internal/mining"
+	"wiclean/internal/obs"
 	"wiclean/internal/pattern"
 	"wiclean/internal/sql"
 	"wiclean/internal/synth"
@@ -124,6 +125,13 @@ type (
 	// Database is a SQL-queryable view of a revision log (tables: actions,
 	// reduced).
 	Database = sql.Database
+
+	// Metrics is the pipeline's observability registry: atomic counters,
+	// gauges, histograms and span timers with JSON / Prometheus snapshots.
+	// Attach one with System.WithObs; a nil registry is a no-op throughout.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a Metrics registry.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Edit operations.
@@ -151,6 +159,12 @@ func NewHistory(reg *Registry) *History { return dump.NewHistory(reg) }
 
 // NewSystem wires a WiClean instance over a revision store.
 func NewSystem(store mining.Store, config Config) *System { return core.New(store, config) }
+
+// NewMetrics returns an empty observability registry; attach it with
+// System.WithObs to collect per-stage counters, latency histograms and
+// span timings, then read them via Snapshot or serve them with the plugin
+// server's /metrics endpoint.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // DefaultConfig returns the paper's default Algorithm 2 configuration:
 // two-week minimal windows, one-year maximum, threshold 0.7 refined down
