@@ -155,6 +155,51 @@ func BenchmarkFig4dParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkMineJoinWorkers shards Algorithm 1's candidate-extension loop
+// across 1, 2, 4 and 8 join workers inside a single window. Wall-clock
+// gains need real cores; on a one-CPU host the sub-benchmarks chiefly
+// demonstrate that the pool costs little and mines identical results (the
+// comparisons metric must not move). wiclean-bench's joinworkers
+// experiment adds the LPT-modeled speedup.
+func BenchmarkMineJoinWorkers(b *testing.B) {
+	w := benchWorld(b, synth.Soccer(), 500)
+	win := action.Window{Start: 4 * action.Week, End: 12 * action.Week}
+	for _, jw := range []int{1, 2, 4, 8} {
+		cfg := mining.PM(0.2)
+		cfg.MaxAbstraction = 1
+		cfg.JoinWorkers = jw
+		b.Run(fmt.Sprintf("%d", jw), func(b *testing.B) {
+			mineBench(b, w, 500, cfg, win)
+		})
+	}
+}
+
+// BenchmarkRelationalPartitionedProbe compares the serial hash probe with
+// the partitioned probe on a large probe side.
+func BenchmarkRelationalPartitionedProbe(b *testing.B) {
+	l := relational.NewTable("v0", "v1")
+	r := relational.NewTable("src", "dst")
+	for i := 0; i < 500; i++ {
+		l.Append(relational.Row{relational.Value(i), relational.Value(i + 20000)})
+	}
+	for i := 0; i < 20000; i++ {
+		r.Append(relational.Row{relational.Value(i % 500), relational.Value(i)})
+	}
+	spec := relational.JoinSpec{
+		EqL: []int{0}, EqR: []int{0},
+		LOut: []int{0, 1}, ROut: []int{1},
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := &relational.Engine{Strategy: relational.HashStrategy, Parallelism: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.Join(l, r, spec)
+			}
+		})
+	}
+}
+
 // BenchmarkSmallDataCandidates is the §6.2 experiment: candidates
 // considered with and without incremental graph construction.
 func BenchmarkSmallDataCandidates(b *testing.B) {

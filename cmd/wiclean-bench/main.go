@@ -29,25 +29,41 @@ type PhaseReport struct {
 	Seconds float64 `json:"seconds"`
 }
 
+// JoinWorkersReport is one pool size of the joinworkers experiment in the
+// JSON report: serial-vs-parallel wall time plus the LPT-modeled makespan
+// and speedup of the extension-job list (the wall-clock figure a host with
+// that many cores would approach).
+type JoinWorkersReport struct {
+	Workers         int     `json:"workers"`
+	Jobs            int     `json:"jobs"`
+	Comparisons     int64   `json:"comparisons"`
+	MeasuredSeconds float64 `json:"measured_seconds"`
+	BusySeconds     float64 `json:"busy_seconds"`
+	ModelSeconds    float64 `json:"model_seconds"`
+	ModelSpeedup    float64 `json:"model_speedup"`
+}
+
 // BenchReport is the -out payload: what ran, how long each phase took, and
 // the pipeline metrics that explain where the time went (joins performed,
 // patterns admitted/rejected, type pulls, windows mined, ...).
 type BenchReport struct {
-	Timestamp string        `json:"timestamp"`
-	Scale     float64       `json:"scale"`
-	Seed      uint64        `json:"seed"`
-	Workers   int           `json:"workers"`
-	Phases    []PhaseReport `json:"phases"`
-	Metrics   obs.Snapshot  `json:"metrics"`
+	Timestamp   string              `json:"timestamp"`
+	Scale       float64             `json:"scale"`
+	Seed        uint64              `json:"seed"`
+	Workers     int                 `json:"workers"`
+	JoinWorkers []JoinWorkersReport `json:"join_workers,omitempty"`
+	Phases      []PhaseReport       `json:"phases"`
+	Metrics     obs.Snapshot        `json:"metrics"`
 }
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 4a, 4b, 4c, 4d")
-	exp := flag.String("exp", "", "experiment to run: smalldata, quality, table1, ablations, errors")
+	exp := flag.String("exp", "", "experiment to run: smalldata, quality, table1, ablations, joinworkers")
 	all := flag.Bool("all", false, "run everything")
 	scale := flag.Float64("scale", 1.0, "seed-count scale factor (e.g. 0.2 for quick runs)")
 	seed := flag.Uint64("seed", 1, "generator random seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores)")
+	joinWorkers := flag.Int("join-workers", 0, "intra-window join workers per miner (0 = all cores)")
 	levels := flag.Int("abstraction", 1, "type-hierarchy levels to mine at")
 	viaDump := flag.Bool("viadump", true, "measure preprocessing through the wikitext parse path")
 	out := flag.String("out", "", "write a JSON report (phases + metrics) to this file")
@@ -57,6 +73,7 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.JoinWorkers = *joinWorkers
 	cfg.Abstraction = *levels
 	cfg.ViaDump = *viaDump
 	cfg.Obs = metrics
@@ -146,6 +163,25 @@ func main() {
 			return err
 		}
 		fmt.Println(experiments.FormatTable1(rows))
+		return nil
+	})
+	run("join workers", "joinworkers", func() error {
+		rows, err := experiments.JoinWorkersScaling(cfg, sc(500), nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatJoinWorkers(rows))
+		for _, r := range rows {
+			report.JoinWorkers = append(report.JoinWorkers, JoinWorkersReport{
+				Workers:         r.Workers,
+				Jobs:            r.Jobs,
+				Comparisons:     r.Comparisons,
+				MeasuredSeconds: r.MeasuredWC.Seconds(),
+				BusySeconds:     r.Busy.Seconds(),
+				ModelSeconds:    r.Makespan.Seconds(),
+				ModelSpeedup:    r.Speedup,
+			})
+		}
 		return nil
 	})
 	run("ablations", "ablations", func() error {

@@ -49,6 +49,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator random seed")
 	levels := flag.Int("abstraction", 1, "type-hierarchy levels to mine at")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores)")
+	joinWorkers := flag.Int("join-workers", 0, "intra-window join workers per miner (0 = all cores)")
 	debug := flag.Bool("debug", false, "expose /debug/vars and /debug/pprof/")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
@@ -67,6 +68,7 @@ func main() {
 	cfg.Mining = mining.PM(cfg.InitialTau)
 	cfg.Mining.MaxAbstraction = *levels
 	cfg.Workers = *workers
+	cfg.JoinWorkers = *joinWorkers
 
 	metrics := obs.NewRegistry()
 	sys := core.New(w.History, cfg).WithObs(metrics)

@@ -72,12 +72,13 @@ run 'wiclean <subcommand> -h' for flags`)
 
 // worldFlags are the shared input-selection flags.
 type worldFlags struct {
-	data    string
-	domain  string
-	seeds   int
-	seed    uint64
-	workers int
-	levels  int
+	data        string
+	domain      string
+	seeds       int
+	seed        uint64
+	workers     int
+	joinWorkers int
+	levels      int
 }
 
 func (wf *worldFlags) register(fs *flag.FlagSet) {
@@ -86,6 +87,7 @@ func (wf *worldFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&wf.seeds, "seeds", 300, "seed entity count for synthetic generation")
 	fs.Uint64Var(&wf.seed, "seed", 1, "generator random seed")
 	fs.IntVar(&wf.workers, "workers", 0, "parallel workers (0 = all cores)")
+	fs.IntVar(&wf.joinWorkers, "join-workers", 0, "intra-window join workers per miner (0 = all cores)")
 	fs.IntVar(&wf.levels, "abstraction", 1, "type-hierarchy levels above base types to mine at")
 }
 
@@ -249,6 +251,7 @@ func makeSystem(wf *worldFlags) (*core.System, *loadedWorld, error) {
 	cfg.Mining = mining.PM(cfg.InitialTau)
 	cfg.Mining.MaxAbstraction = wf.levels
 	cfg.Workers = wf.workers
+	cfg.JoinWorkers = wf.joinWorkers
 	return core.New(lw.store, cfg), lw, nil
 }
 

@@ -25,6 +25,9 @@ type Config struct {
 	Seed uint64
 	// Workers bounds parallel window/detection workers (<=0 = GOMAXPROCS).
 	Workers int
+	// JoinWorkers shards the candidate-extension loop inside each window
+	// miner (0 = all cores; see mining.Config.JoinWorkers).
+	JoinWorkers int
 	// Abstraction is the hierarchy-climb bound handed to the miner.
 	Abstraction int
 	// ViaDump routes world construction through wikitext rendering and
@@ -84,6 +87,7 @@ func transferMonth() action.Window {
 func variantConfigs(cfg Config, tau float64) (pm, pmNoJoin mining.Config) {
 	pm = mining.PM(tau)
 	pm.MaxAbstraction = cfg.Abstraction
+	pm.JoinWorkers = cfg.JoinWorkers
 	pm.Obs = cfg.Obs
 	pmNoJoin = pm
 	pmNoJoin.Strategy = relational.NestedLoop

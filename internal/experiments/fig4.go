@@ -157,6 +157,7 @@ func Fig4d(cfg Config, seedSizes []int) ([]Fig4dRow, error) {
 		wcfg.Mining = mining.PM(wcfg.InitialTau)
 		wcfg.Mining.MaxAbstraction = cfg.Abstraction
 		wcfg.Workers = cfg.Workers
+		wcfg.JoinWorkers = cfg.JoinWorkers
 		wcfg.Obs = cfg.Obs
 		wcfg.SkipRelative = true // Figure 4(d) measures the mining stage
 		o, err := windows.Run(w.Store, w.Seeds, w.Domain.SeedType, w.Span, wcfg)

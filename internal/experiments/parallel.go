@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wiclean/internal/action"
+	"wiclean/internal/mining"
+	"wiclean/internal/synth"
+)
+
+// JoinWorkersRow is one pool size of the intra-window parallel-mining
+// scaling experiment: serial-vs-parallel wall clock for one Algorithm 1
+// run, plus the modeled makespan of its extension-job list. As with Figure
+// 4(d), a one-CPU host cannot show real parallel wall-clock gains, so the
+// LPT makespan of the measured per-job busy times over k workers is
+// reported alongside — the quantity a k-core machine would approach.
+type JoinWorkersRow struct {
+	Workers     int
+	MeasuredWC  time.Duration // actual Mine wall clock at JoinWorkers=Workers
+	Busy        time.Duration // sum of extension-job busy times (1 worker)
+	Makespan    time.Duration // LPT makespan of those jobs over Workers
+	Speedup     float64       // Busy / Makespan
+	Jobs        int           // extension jobs in the run
+	Comparisons int64         // join comparisons (identical across pool sizes)
+}
+
+// JoinWorkersScaling mines one join-heavy soccer window at every pool size
+// in workersList (default 1, 2, 4, 8) and reports measured wall time plus
+// the modeled scaling of the job list recorded by the JoinWorkers=1 run.
+// The mining output is byte-identical across rows — the experiment
+// additionally fails loudly if the comparison counts ever diverge, since
+// that would falsify the determinism contract the speedups rest on.
+func JoinWorkersScaling(cfg Config, seeds int, workersList []int) ([]JoinWorkersRow, error) {
+	if len(workersList) == 0 {
+		workersList = []int{1, 2, 4, 8}
+	}
+	w, err := BuildWorld(cfg, synth.Soccer(), seeds)
+	if err != nil {
+		return nil, err
+	}
+	// A low threshold over a two-month window keeps the realization tables
+	// deep enough that the extension joins dominate preprocessing.
+	mcfg := mining.PM(0.2)
+	mcfg.MaxAbstraction = cfg.Abstraction
+	mcfg.Obs = cfg.Obs
+	win := action.Window{Start: 4 * action.Week, End: 12 * action.Week}
+
+	var rows []JoinWorkersRow
+	var jobs []time.Duration
+	var baseComparisons int64
+	for i, k := range workersList {
+		mcfg.JoinWorkers = k
+		start := time.Now()
+		res, err := mining.Mine(w.Store, w.Seeds, w.Domain.SeedType, win, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		if i == 0 {
+			jobs = res.JoinJobs
+			baseComparisons = res.Stats.Join.Comparisons
+		} else if res.Stats.Join.Comparisons != baseComparisons {
+			return nil, fmt.Errorf("experiments: join comparisons diverged at %d workers: %d != %d",
+				k, res.Stats.Join.Comparisons, baseComparisons)
+		}
+		var busy time.Duration
+		for _, d := range jobs {
+			busy += d
+		}
+		makespan := lptMakespan(jobs, k)
+		row := JoinWorkersRow{
+			Workers:     k,
+			MeasuredWC:  wall,
+			Busy:        busy,
+			Makespan:    makespan,
+			Jobs:        len(jobs),
+			Comparisons: res.Stats.Join.Comparisons,
+		}
+		if makespan > 0 {
+			row.Speedup = float64(busy) / float64(makespan)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatJoinWorkers renders the scaling rows.
+func FormatJoinWorkers(rows []JoinWorkersRow) string {
+	header := []string{"join workers", "jobs", "comparisons", "busy (1 worker)", "LPT makespan", "speedup", "measured wall"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%d", r.Comparisons),
+			formatDuration(r.Busy),
+			formatDuration(r.Makespan),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			formatDuration(r.MeasuredWC),
+		})
+	}
+	return "Intra-window parallel mining: serial vs sharded extension joins (soccer, tau 0.2, 8-week window)\n" +
+		renderTable(header, body)
+}

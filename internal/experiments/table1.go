@@ -57,6 +57,7 @@ func Table1(cfg Config, seeds int) ([]Table1Row, error) {
 		wcfg.Mining = mining.PM(wcfg.InitialTau)
 		wcfg.Mining.MaxAbstraction = cfg.Abstraction
 		wcfg.Workers = cfg.Workers
+		wcfg.JoinWorkers = cfg.JoinWorkers
 		wcfg.Obs = cfg.Obs
 		wcfg.SkipRelative = true
 

@@ -35,9 +35,18 @@ type Config struct {
 	// bound trades pattern nuance for candidate count.
 	MaxAbstraction int
 
-	// Strategy selects join execution: relational.HashStrategy is PM's
-	// optimized path, relational.NestedLoop is the PM−join baseline.
+	// Strategy selects join execution. relational.AutoStrategy (PM's
+	// default) lets the engine's planner pick hash, sort-merge or
+	// nested-loop per join from input cardinalities; any other value is a
+	// forced override — relational.NestedLoop is the PM−join baseline.
 	Strategy relational.Strategy
+
+	// JoinWorkers shards the candidate-extension loop inside one window
+	// across this many workers, each with its own relational.Engine
+	// (<=0 = GOMAXPROCS). Results are byte-identical for every worker
+	// count: candidates are enumerated, joined against a frozen snapshot
+	// of the template tables, and merged back in deterministic job order.
+	JoinWorkers int
 
 	// Incremental enables on-demand graph construction (PM). When false,
 	// the full edits graph of the window is materialized up front and
@@ -73,7 +82,7 @@ func PM(tau float64) Config {
 		TauRel:         DefaultTauRel,
 		MaxActions:     DefaultMaxActions,
 		MaxAbstraction: 2,
-		Strategy:       relational.HashStrategy,
+		Strategy:       relational.AutoStrategy,
 		Incremental:    true,
 	}
 }
@@ -117,14 +126,17 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Name returns the paper's name for the variant this config encodes.
+// Name returns the paper's name for the variant this config encodes. Any
+// strategy except the forced nested loop counts as the optimized join path
+// (the planner's whole job is picking among the optimized physical joins).
 func (c Config) Name() string {
+	optimized := c.Strategy != relational.NestedLoop
 	switch {
-	case c.Incremental && c.Strategy == relational.HashStrategy:
+	case c.Incremental && optimized:
 		return "PM"
 	case c.Incremental:
 		return "PM-join"
-	case c.Strategy == relational.HashStrategy:
+	case optimized:
 		return "PM-inc"
 	default:
 		return "PM-inc,-join"

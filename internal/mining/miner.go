@@ -25,7 +25,18 @@ type miner struct {
 	seedSet  map[taxonomy.EntityID]bool
 	seedType taxonomy.Type
 
-	engine relational.Engine
+	// joinWorkers is the resolved Config.JoinWorkers; engine is the
+	// single-worker engine (the pool builds one engine per worker).
+	// partitionMin, when nonzero, overrides every engine's partitioned-probe
+	// threshold — tests force it to 1 so sharded probes fire on tiny tables.
+	joinWorkers  int
+	engine       relational.Engine
+	partitionMin int
+
+	// joinJobs records the busy time of every extension job in job order —
+	// the job list an LPT scheduler would distribute, mirroring
+	// windows.Outcome.WindowDurations one level down.
+	joinJobs []time.Duration
 
 	// abstract_actions[w] with realizations[w][a]: template -> two-column
 	// (src, dst) realization table.
@@ -105,7 +116,7 @@ func newMiner(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w 
 		seeds:             seeds,
 		seedSet:           make(map[taxonomy.EntityID]bool, len(seeds)),
 		seedType:          seedType,
-		engine:            relational.Engine{Strategy: cfg.Strategy},
+		joinWorkers:       resolveJoinWorkers(cfg.JoinWorkers),
 		templates:         map[pattern.Template]*relational.Table{},
 		frequent:          map[string]*ScoredPattern{},
 		tested:            map[string]bool{},
@@ -116,6 +127,8 @@ func newMiner(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w 
 	for _, s := range seeds {
 		m.seedSet[s] = true
 	}
+	m.engine = m.newEngine()
+	m.obs.Gauge(obs.MiningJoinWorkers).Set(float64(m.joinWorkers))
 	m.processedTypes[seedType] = true
 	return m
 }
@@ -297,32 +310,46 @@ func (m *miner) pullNewTypes() bool {
 }
 
 // expandOnce sweeps all untested (pattern, template) pairs once (lines
-// 9–14). It reports whether any new frequent pattern was admitted.
+// 9–14), generation by generation: the current frontier's pairs are
+// enumerated serially (marking tested and counting candidates), joined as
+// independent jobs on the worker pool, and merged back in job order; the
+// patterns admitted by that merge form the next frontier. The generational
+// structure is exactly the order the serial loop visits — new patterns are
+// appended to m.order, so the old `i < len(m.order)` scan also finished a
+// frontier before reaching its offspring — which is why one worker and N
+// workers admit identical pattern sequences. It reports whether any new
+// frequent pattern was admitted.
 func (m *miner) expandOnce() bool {
 	admitted := false
-	// Iterate over a snapshot of the current pattern keys; newly admitted
-	// patterns join subsequent sweeps via the outer loop in grow.
-	for i := 0; i < len(m.order); i++ {
-		key := m.order[i]
-		sp := m.frequent[key]
-		if sp.Pattern.Size() >= m.cfg.MaxActions {
-			continue
-		}
-		for _, tmpl := range m.templateOrder {
-			pairKey := key + "⊕" + tmpl.String()
-			if m.tested[pairKey] {
+	for start := 0; start < len(m.order); {
+		frontier := m.order[start:]
+		start = len(m.order)
+		var jobs []extendJob
+		for _, key := range frontier {
+			sp := m.frequent[key]
+			if sp.Pattern.Size() >= m.cfg.MaxActions {
 				continue
 			}
-			m.tested[pairKey] = true
-			// Each tested (pattern, abstract action) pair is one considered
-			// candidate — the metric of the §6.2 small-data experiment. The
-			// full-graph variants accumulate far more of these because
-			// abstract_actions[w] holds every template in the materialized
-			// graph, relevant or not.
-			m.stats.Candidates++
-			for _, ext := range sp.Pattern.Extensions(tmpl) {
-				tbl := m.extend(sp, tmpl, ext)
-				if m.admit(ext.Pattern, tbl) {
+			for _, tmpl := range m.templateOrder {
+				pairKey := key + "⊕" + tmpl.String()
+				if m.tested[pairKey] {
+					continue
+				}
+				m.tested[pairKey] = true
+				// Each tested (pattern, abstract action) pair is one considered
+				// candidate — the metric of the §6.2 small-data experiment. The
+				// full-graph variants accumulate far more of these because
+				// abstract_actions[w] holds every template in the materialized
+				// graph, relevant or not.
+				m.stats.Candidates++
+				jobs = append(jobs, extendJob{sp: sp, tmpl: tmpl})
+			}
+		}
+		for _, jr := range m.runExtendJobs(jobs) {
+			m.stats.Join.Add(jr.stats)
+			m.joinJobs = append(m.joinJobs, jr.dur)
+			for _, c := range jr.cands {
+				if m.admit(c.pat, c.tbl) {
 					admitted = true
 				}
 			}
@@ -331,11 +358,14 @@ func (m *miner) expandOnce() bool {
 	return admitted
 }
 
-// extend computes realizations[w][p'] from realizations[w][p] and
+// extendWith computes realizations[w][p'] from realizations[w][p] and
 // realizations[w][a] with the join query of §4.2: equijoin on glued
 // variables, inequality against all collidable columns for a fresh
-// variable, projection to one column per pattern variable.
-func (m *miner) extend(sp *ScoredPattern, tmpl pattern.Template, ext pattern.Extension) *relational.Table {
+// variable, projection to one column per pattern variable. It runs on the
+// calling worker's engine and touches only frozen miner state (the
+// realization and template tables of the current generation), so jobs need
+// no synchronization.
+func (m *miner) extendWith(eng *relational.Engine, sp *ScoredPattern, tmpl pattern.Template, ext pattern.Extension) *relational.Table {
 	l := sp.Realizations
 	r := m.templates[tmpl]
 	spec := relational.JoinSpec{
@@ -357,12 +387,11 @@ func (m *miner) extend(sp *ScoredPattern, tmpl pattern.Template, ext pattern.Ext
 	if ext.NewVar {
 		spec.ROut = []int{1}
 	}
-	out := m.engine.Join(l, r, spec)
+	out := eng.Join(l, r, spec)
 	if ext.NewVar {
 		out.SetColumnName(out.Arity()-1, pattern.VarName(ext.DstVar))
 	}
 	out = out.Dedup()
-	m.stats.Join = m.engine.Stats
 	m.obs.Counter(obs.MiningExtendJoins).Inc()
 	return out
 }
@@ -375,8 +404,8 @@ func (m *miner) result() *Result {
 		SeedSize: len(m.seeds),
 		Window:   m.window,
 		Stats:    m.stats,
+		JoinJobs: m.joinJobs,
 	}
-	res.Stats.Join = m.engine.Stats
 	all := make([]pattern.Pattern, 0, len(m.order))
 	for _, key := range m.order {
 		sp := m.frequent[key]

@@ -17,6 +17,18 @@ const (
 	MiningRuns             = "wiclean_mining_runs_total"
 	MiningSeconds          = "wiclean_mining_duration_seconds"
 
+	// Intra-window parallel mining (internal/mining join-worker pool).
+	MiningJoinWorkers           = "wiclean_mining_join_workers"
+	MiningExtendBatches         = "wiclean_mining_extend_batches_total"
+	MiningExtendBatchSeconds    = "wiclean_mining_extend_batch_duration_seconds"
+	MiningJoinWorkerUtilization = "wiclean_mining_join_worker_utilization_ratio"
+
+	// Relational engine (internal/relational). The join histogram and the
+	// planner counter carry a strategy label.
+	RelationalJoinSeconds       = "wiclean_relational_join_duration_seconds"
+	RelationalPlannerDecisions  = "wiclean_relational_planner_decisions_total"
+	RelationalPartitionedProbes = "wiclean_relational_partitioned_probes_total"
+
 	// Algorithm 2 (internal/windows).
 	WindowsRefinementSteps = "wiclean_windows_refinement_steps_total"
 	WindowsMined           = "wiclean_windows_mined_total"

@@ -2,6 +2,9 @@ package relational
 
 import (
 	"fmt"
+	"time"
+
+	"wiclean/internal/obs"
 )
 
 // JoinSpec describes an equijoin with residual inequality predicates, the
@@ -149,17 +152,27 @@ func (s Strategy) String() string {
 		return "nested-loop"
 	case SortMerge:
 		return "sort-merge"
+	case AutoStrategy:
+		return "auto"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
 // Stats accumulates the work an Engine performed, for the running-time
 // ablations (rows compared is the honest cost proxy across strategies).
+// Every field is a pure function of the joined tables and specs — never of
+// wall clock or worker count — so per-worker Stats merge to the same totals
+// no matter how the joins were scheduled.
 type Stats struct {
 	Joins       int
 	OuterJoins  int
 	RowsOut     int64
 	Comparisons int64
+
+	// AutoStrategy planner decisions, by chosen physical strategy.
+	PlannedHash      int
+	PlannedSortMerge int
+	PlannedNested    int
 }
 
 // Add accumulates o into s.
@@ -168,30 +181,83 @@ func (s *Stats) Add(o Stats) {
 	s.OuterJoins += o.OuterJoins
 	s.RowsOut += o.RowsOut
 	s.Comparisons += o.Comparisons
+	s.PlannedHash += o.PlannedHash
+	s.PlannedSortMerge += o.PlannedSortMerge
+	s.PlannedNested += o.PlannedNested
+}
+
+// Minus returns s - o fieldwise: the work performed since the snapshot o
+// was taken. The parallel miner uses it to attribute an engine's work to
+// one extension job before merging deltas in deterministic job order.
+func (s Stats) Minus(o Stats) Stats {
+	return Stats{
+		Joins:            s.Joins - o.Joins,
+		OuterJoins:       s.OuterJoins - o.OuterJoins,
+		RowsOut:          s.RowsOut - o.RowsOut,
+		Comparisons:      s.Comparisons - o.Comparisons,
+		PlannedHash:      s.PlannedHash - o.PlannedHash,
+		PlannedSortMerge: s.PlannedSortMerge - o.PlannedSortMerge,
+		PlannedNested:    s.PlannedNested - o.PlannedNested,
+	}
 }
 
 // Engine executes joins with a chosen strategy and records Stats. The zero
-// value is a hash-join engine.
+// value is a hash-join engine. An Engine is NOT safe for concurrent use —
+// Stats updates are plain writes; give each worker its own Engine and merge
+// Stats at a barrier instead of sharing one behind a lock.
 type Engine struct {
 	Strategy Strategy
-	Stats    Stats
+
+	// Parallelism > 1 enables the partitioned probe inside large hash
+	// joins: the probe side is split into that many contiguous chunks
+	// probed concurrently and stitched back in chunk order, so the output
+	// stays byte-identical to the serial probe.
+	Parallelism int
+
+	// ProbePartitionMin overrides DefaultProbePartitionMin when > 0 (the
+	// differential tests lower it to force the partitioned path on small
+	// tables).
+	ProbePartitionMin int
+
+	// Obs, when set, receives per-strategy join latency histograms,
+	// planner-decision counters and partitioned-probe counts. Nil costs
+	// nothing (not even the clock reads).
+	Obs *obs.Registry
+
+	Stats Stats
 }
 
 // Join computes the inner join of l and r under spec. It panics on an
-// invalid spec (programming error).
+// invalid spec (programming error). With Strategy == AutoStrategy the
+// planner picks the physical join from the input cardinalities; any other
+// value forces that implementation.
 func (e *Engine) Join(l, r *Table, spec JoinSpec) *Table {
 	if err := spec.Validate(l, r); err != nil {
 		panic(err)
 	}
 	e.Stats.Joins++
+	strat := e.Strategy
+	if strat == AutoStrategy {
+		strat = spec.plan(l, r)
+		e.recordPlan(strat)
+		e.Obs.Counter(obs.Labeled(obs.RelationalPlannerDecisions, "strategy", strat.String())).Inc()
+	}
+	var start time.Time
+	if e.Obs != nil {
+		start = time.Now()
+	}
 	var out *Table
-	switch e.Strategy {
+	switch strat {
 	case NestedLoop:
 		out = e.nestedLoopJoin(l, r, spec)
 	case SortMerge:
 		out = e.sortMergeJoin(l, r, spec)
 	default:
 		out = e.hashJoin(l, r, spec)
+	}
+	if e.Obs != nil {
+		e.Obs.Histogram(obs.Labeled(obs.RelationalJoinSeconds, "strategy", strat.String()), obs.DurationBuckets).
+			ObserveDuration(time.Since(start))
 	}
 	e.Stats.RowsOut += int64(out.Len())
 	return out
@@ -213,44 +279,50 @@ func (e *Engine) hashJoin(l, r *Table, spec JoinSpec) *Table {
 	}
 	// Build on the smaller side. Probes re-verify equality because keys
 	// are hashes, not exact encodings.
-	if l.Len() <= r.Len() {
-		idx := make(map[uint64][]Row, l.Len())
-		for _, lr := range l.rows {
-			if k, ok := hashKey(lr, spec.EqL); ok {
-				idx[k] = append(idx[k], lr)
-			}
+	buildLeft := l.Len() <= r.Len()
+	build, probe := l, r
+	buildKeys, probeKeys := spec.EqL, spec.EqR
+	if !buildLeft {
+		build, probe = r, l
+		buildKeys, probeKeys = spec.EqR, spec.EqL
+	}
+	idx := make(map[uint64][]Row, build.Len())
+	for _, br := range build.rows {
+		if k, ok := hashKey(br, buildKeys); ok {
+			idx[k] = append(idx[k], br)
 		}
-		for _, rr := range r.rows {
-			k, ok := hashKey(rr, spec.EqR)
+	}
+	// probeFn scans one run of probe rows against the (read-only) build
+	// index into its own buffer — the unit both the serial and the
+	// partitioned probe share, so their outputs are identical by
+	// construction.
+	probeFn := func(rows []Row, comparisons *int64) []Row {
+		var emitted []Row
+		for _, pr := range rows {
+			k, ok := hashKey(pr, probeKeys)
 			if !ok {
 				continue
 			}
-			for _, lr := range idx[k] {
-				e.Stats.Comparisons++
+			for _, br := range idx[k] {
+				lr, rr := br, pr
+				if !buildLeft {
+					lr, rr = pr, br
+				}
+				*comparisons++
 				if spec.eqOK(lr, rr) && spec.neqOK(lr, rr) {
-					out.rows = append(out.rows, spec.emit(lr, rr))
+					emitted = append(emitted, spec.emit(lr, rr))
 				}
 			}
 		}
+		return emitted
+	}
+	if e.Parallelism > 1 && probe.Len() >= e.probePartitionMin() {
+		out.rows = e.partitionedProbe(probe.rows, probeFn)
+		e.Obs.Counter(obs.RelationalPartitionedProbes).Inc()
 	} else {
-		idx := make(map[uint64][]Row, r.Len())
-		for _, rr := range r.rows {
-			if k, ok := hashKey(rr, spec.EqR); ok {
-				idx[k] = append(idx[k], rr)
-			}
-		}
-		for _, lr := range l.rows {
-			k, ok := hashKey(lr, spec.EqL)
-			if !ok {
-				continue
-			}
-			for _, rr := range idx[k] {
-				e.Stats.Comparisons++
-				if spec.eqOK(lr, rr) && spec.neqOK(lr, rr) {
-					out.rows = append(out.rows, spec.emit(lr, rr))
-				}
-			}
-		}
+		var comparisons int64
+		out.rows = probeFn(probe.rows, &comparisons)
+		e.Stats.Comparisons += comparisons
 	}
 	return out
 }

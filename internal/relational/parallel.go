@@ -1,0 +1,52 @@
+package relational
+
+import "sync"
+
+// DefaultProbePartitionMin is the probe-side row count at which a hash
+// join with Parallelism > 1 switches to the partitioned probe. Below it,
+// goroutine startup and the extra buffer stitching cost more than the
+// probe itself.
+const DefaultProbePartitionMin = 4096
+
+// probePartitionMin returns the effective partitioned-probe threshold.
+func (e *Engine) probePartitionMin() int {
+	if e.ProbePartitionMin > 0 {
+		return e.ProbePartitionMin
+	}
+	return DefaultProbePartitionMin
+}
+
+// partitionedProbe runs the probe phase of a hash join with the probe side
+// split into Parallelism contiguous chunks, one goroutine each. Each chunk
+// probes the shared (read-only) build index into its own output buffer and
+// comparison counter; the buffers are concatenated in chunk order, so the
+// emitted rows — and therefore the whole join output — are byte-identical
+// to the serial probe, and the comparison total is summed at the barrier
+// rather than contended per probe.
+func (e *Engine) partitionedProbe(probe []Row, probeFn func(rows []Row, comparisons *int64) []Row) []Row {
+	parts := e.Parallelism
+	if parts > len(probe) {
+		parts = len(probe)
+	}
+	outs := make([][]Row, parts)
+	comps := make([]int64, parts)
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		// Proportional bounds balance the chunks and, unlike ceil-sized
+		// chunks, can never run past the slice when parts ∤ len(probe).
+		lo := p * len(probe) / parts
+		hi := (p + 1) * len(probe) / parts
+		wg.Add(1)
+		go func(p int, rows []Row) {
+			defer wg.Done()
+			outs[p] = probeFn(rows, &comps[p])
+		}(p, probe[lo:hi])
+	}
+	wg.Wait()
+	var rows []Row
+	for p := 0; p < parts; p++ {
+		rows = append(rows, outs[p]...)
+		e.Stats.Comparisons += comps[p]
+	}
+	return rows
+}

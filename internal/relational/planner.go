@@ -1,0 +1,60 @@
+package relational
+
+// AutoStrategy asks the engine to pick the physical join per call from the
+// input cardinalities instead of forcing one implementation. Any other
+// Strategy value is a forced override: the engine runs exactly that
+// algorithm, which is what the PM−join ablation and the differential tests
+// rely on.
+const AutoStrategy Strategy = 3
+
+// Planner thresholds. The heuristics only consult input cardinalities —
+// never row contents or wall clock — so a plan is a pure function of table
+// sizes and the spec, and two runs over the same tables always pick the
+// same strategy regardless of worker count (the determinism contract of
+// the parallel miner).
+const (
+	// autoNestedMaxProduct: below this |L|·|R|, the quadratic scan is
+	// cheaper than building any auxiliary structure. Realization tables in
+	// the early mining sweeps are tiny (tens of rows), where hash-map
+	// construction dominates the join itself.
+	autoNestedMaxProduct = 1 << 12
+
+	// autoSortMergeMin: once BOTH sides are at least this large, sorted
+	// runs beat per-probe map lookups — the map's pointer chasing loses to
+	// two cache-friendly sorts on large inputs.
+	autoSortMergeMin = 1 << 13
+)
+
+// plan picks the physical strategy for one join from input cardinalities.
+func (s JoinSpec) plan(l, r *Table) Strategy {
+	if len(s.EqL) == 0 {
+		// Pure cross join with residual predicates: every pair is compared
+		// no matter what, so skip all build structures.
+		return NestedLoop
+	}
+	small, big := l.Len(), r.Len()
+	if small > big {
+		small, big = big, small
+	}
+	if int64(l.Len())*int64(r.Len()) <= autoNestedMaxProduct {
+		return NestedLoop
+	}
+	if small >= autoSortMergeMin {
+		return SortMerge
+	}
+	return HashStrategy
+}
+
+// recordPlan accounts an AutoStrategy decision in Stats. The counts are
+// deterministic because plans are cardinality-driven (Join separately
+// mirrors them into the labeled obs counters when a registry is attached).
+func (e *Engine) recordPlan(chosen Strategy) {
+	switch chosen {
+	case NestedLoop:
+		e.Stats.PlannedNested++
+	case SortMerge:
+		e.Stats.PlannedSortMerge++
+	default:
+		e.Stats.PlannedHash++
+	}
+}

@@ -36,7 +36,9 @@ func Run(catalog Catalog, q *Query) (*Result, error) {
 	}
 	work := qualify(left, q.Alias)
 
-	engine := &relational.Engine{Strategy: relational.HashStrategy}
+	// The adaptive planner picks the physical join per query from the
+	// input cardinalities, like the miner's engines.
+	engine := &relational.Engine{Strategy: relational.AutoStrategy}
 	for _, j := range q.Joins {
 		right, err := load(catalog, j.Table)
 		if err != nil {

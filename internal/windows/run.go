@@ -26,6 +26,9 @@ func Run(store mining.Store, seeds []taxonomy.EntityID, seedType taxonomy.Type,
 	}
 	start := time.Now()
 	cfg.Mining.Obs = cfg.Obs // forward the registry to every window miner
+	if cfg.JoinWorkers != 0 {
+		cfg.Mining.JoinWorkers = cfg.JoinWorkers
+	}
 	runSpan := cfg.Obs.Span("windows.run")
 	defer runSpan.End()
 	maxSteps := cfg.MaxSteps

@@ -34,6 +34,13 @@ type Config struct {
 	Workers      int         // parallel window workers; <=0 = GOMAXPROCS
 	MaxSteps     int         // hard bound on refinement steps; <=0 = 16
 
+	// JoinWorkers, when nonzero, overrides Mining.JoinWorkers for every
+	// per-window miner: the intra-window candidate-extension pool size
+	// (see mining.Config.JoinWorkers). Window-level and join-level
+	// parallelism compose — Workers spreads windows, JoinWorkers shards
+	// the joins inside each one.
+	JoinWorkers int
+
 	// Patience is how many consecutive fruitless refinement steps the walk
 	// tolerates once at least one pattern has been found (<=0 = 4). The
 	// alternating schedule interleaves widening and threshold cuts, so a

@@ -197,6 +197,48 @@ func TestRunParallelWorkersAgree(t *testing.T) {
 	}
 }
 
+// TestRunJoinWorkersForwarded checks that Config.JoinWorkers reaches the
+// per-window miners and composes with window workers without changing the
+// discovered pattern set.
+func TestRunJoinWorkersForwarded(t *testing.T) {
+	build := func() *world {
+		w := newWorld(t, 8)
+		for i := 0; i < 6; i++ {
+			w.transferP(i, action.Week+action.Time(i)*action.Hour, 2)
+		}
+		return w
+	}
+	keysFor := func(workers, joinWorkers int) map[string]bool {
+		w := build()
+		cfg := testConfig()
+		cfg.Workers = workers
+		cfg.JoinWorkers = joinWorkers
+		o, err := Run(w.store, w.players, "FootballPlayer", w.span, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks := map[string]bool{}
+		for _, d := range o.Discovered {
+			ks[d.Pattern.Canonical()] = true
+		}
+		return ks
+	}
+	serial := keysFor(1, 1)
+	for _, tc := range []struct{ workers, joinWorkers int }{{1, 4}, {2, 3}} {
+		got := keysFor(tc.workers, tc.joinWorkers)
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d joinWorkers=%d: %d patterns vs %d serial",
+				tc.workers, tc.joinWorkers, len(got), len(serial))
+		}
+		for k := range serial {
+			if !got[k] {
+				t.Fatalf("workers=%d joinWorkers=%d: pattern %s missing",
+					tc.workers, tc.joinWorkers, k)
+			}
+		}
+	}
+}
+
 func TestRunRelativeStage(t *testing.T) {
 	w := newWorld(t, 10)
 	leagueA := w.reg.MustAdd("L1", "Organisation")
