@@ -4,6 +4,8 @@
 // and live-edit suggestions — plus the operational surface.
 //
 //	wiclean-server -domain soccer -seeds 300 -addr :8754
+//	wiclean-server -data data/              # serve a 'wiclean gen' world
+//	wiclean-server -data data/ -source dump # ... streaming it lazily
 //	wiclean-server -debug   # adds /debug/vars and /debug/pprof/
 //
 // Endpoints:
@@ -17,6 +19,8 @@
 //	POST /suggest     advice for a live edit:
 //	                  {"subject": "...", "op": "+", "label": "...",
 //	                   "object": "...", "at": 123456}
+//	GET  /history     the revision store in JSONL dump format — point
+//	                  another instance's "-source http" here
 //	GET  /debug/vars  expvar JSON incl. the metrics snapshot (-debug only)
 //	GET  /debug/pprof/ CPU/heap/goroutine profiles (-debug only)
 //
@@ -25,25 +29,172 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"wiclean/internal/action"
 	"wiclean/internal/core"
+	"wiclean/internal/dump"
 	"wiclean/internal/mining"
 	"wiclean/internal/obs"
 	"wiclean/internal/plugin"
+	"wiclean/internal/source"
 	"wiclean/internal/synth"
+	"wiclean/internal/taxonomy"
 	"wiclean/internal/windows"
 )
 
+// world is the mined input: a source-stack store, the registry, seeds and
+// the revision span.
+type world struct {
+	store    mining.Store
+	reg      *taxonomy.Registry
+	seeds    []taxonomy.EntityID
+	seedType taxonomy.Type
+	span     action.Window
+}
+
+// loadWorld resolves -data / -domain plus the -source* flags into the
+// store the server mines and serves. It mirrors the wiclean CLI's loader:
+// registry and seeds come from the data directory (or the synthetic
+// generator), actions from the selected source.
+func loadWorld(data, domain string, seeds int, seed uint64, opts source.Options, metrics *obs.Registry) (*world, error) {
+	w := &world{}
+	var mem *dump.History
+	kind := opts.Kind
+	if kind == "" {
+		kind = source.KindMemory
+	}
+
+	if data != "" {
+		uf, err := os.Open(filepath.Join(data, "universe.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		w.reg, err = dump.ReadUniverse(uf)
+		uf.Close()
+		if err != nil {
+			return nil, err
+		}
+		sf, err := os.Open(filepath.Join(data, "seeds.txt"))
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(sf)
+		for sc.Scan() {
+			name := strings.TrimSpace(sc.Text())
+			if name == "" {
+				continue
+			}
+			id, ok := w.reg.Lookup(name)
+			if !ok {
+				sf.Close()
+				return nil, fmt.Errorf("seeds.txt references unknown entity %q", name)
+			}
+			w.seeds = append(w.seeds, id)
+		}
+		err = sc.Err()
+		sf.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(w.seeds) == 0 {
+			return nil, fmt.Errorf("seeds.txt holds no seed entities")
+		}
+		w.seedType = w.reg.TypeOf(w.seeds[0])
+		switch kind {
+		case source.KindMemory:
+			af, err := os.Open(filepath.Join(data, "actions.jsonl"))
+			if err != nil {
+				return nil, err
+			}
+			recs, err := dump.ReadActions(af)
+			af.Close()
+			if err != nil {
+				return nil, err
+			}
+			mem = dump.NewHistory(w.reg)
+			if skipped := mem.IngestRecords(recs); skipped > 0 {
+				log.Printf("wiclean-server: skipped %d action records referencing unknown entities", skipped)
+			}
+			w.span = mem.Span()
+		case source.KindDump:
+			if opts.Path == "" {
+				opts.Path = filepath.Join(data, "actions.jsonl")
+			}
+		}
+	} else {
+		if kind == source.KindDump {
+			return nil, fmt.Errorf("-source dump needs -data")
+		}
+		d, err := synth.DomainByName(domain)
+		if err != nil {
+			return nil, err
+		}
+		p := synth.DefaultParams(d, seeds)
+		p.Seed = seed
+		sw, err := synth.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		w.reg, w.seeds, w.seedType = sw.Reg, sw.Seeds, d.SeedType
+		if kind == source.KindMemory {
+			mem = sw.History
+			w.span = sw.Span
+		}
+	}
+
+	switch kind {
+	case source.KindDump:
+		f, err := os.Open(opts.Path)
+		if err != nil {
+			return nil, err
+		}
+		span, n, err := source.ScanSpan(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("%s holds no action records", opts.Path)
+		}
+		w.span = span
+	case source.KindHTTP:
+		if opts.URL == "" {
+			return nil, fmt.Errorf("-source http needs -source-url")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		span, err := source.NewHTTP(opts.URL, w.reg, nil).Span(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("fetching remote span: %w", err)
+		}
+		w.span = span
+	}
+
+	opts.Obs = metrics
+	st, err := opts.Store(context.Background(), mem, w.reg)
+	if err != nil {
+		return nil, err
+	}
+	w.store = st
+	return w, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8754", "listen address")
+	data := flag.String("data", "", "directory written by 'wiclean gen' (overrides -domain)")
 	domain := flag.String("domain", "soccer", "synthetic domain to serve")
 	seeds := flag.Int("seeds", 300, "seed entity count")
 	seed := flag.Uint64("seed", 1, "generator random seed")
@@ -52,15 +203,12 @@ func main() {
 	joinWorkers := flag.Int("join-workers", 0, "intra-window join workers per miner (0 = all cores)")
 	debug := flag.Bool("debug", false, "expose /debug/vars and /debug/pprof/")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	opts := source.DefaultOptions()
+	opts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	d, err := synth.DomainByName(*domain)
-	if err != nil {
-		log.Fatalf("wiclean-server: %v", err)
-	}
-	p := synth.DefaultParams(d, *seeds)
-	p.Seed = *seed
-	w, err := synth.Generate(p)
+	metrics := obs.NewRegistry()
+	w, err := loadWorld(*data, *domain, *seeds, *seed, opts, metrics)
 	if err != nil {
 		log.Fatalf("wiclean-server: %v", err)
 	}
@@ -70,11 +218,10 @@ func main() {
 	cfg.Workers = *workers
 	cfg.JoinWorkers = *joinWorkers
 
-	metrics := obs.NewRegistry()
-	sys := core.New(w.History, cfg).WithObs(metrics)
+	sys := core.New(w.store, cfg).WithObs(metrics)
 
 	start := time.Now()
-	if _, err := sys.Mine(w.Seeds, d.SeedType, w.Span); err != nil {
+	if _, err := sys.Mine(w.seeds, w.seedType, w.span); err != nil {
 		log.Fatalf("wiclean-server: mining: %v", err)
 	}
 	srv, err := plugin.NewServer(sys, *workers)

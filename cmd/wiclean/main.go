@@ -4,6 +4,9 @@
 //
 //	wiclean gen     -domain soccer -seeds 500 -out data/
 //	wiclean mine    -data data/            # or: -domain soccer -seeds 500
+//	wiclean mine    -data data/ -source dump   # stream actions.jsonl lazily
+//	wiclean mine    -domain soccer -source http \
+//	                -source-url http://host:8754/history
 //	wiclean detect  -data data/
 //	wiclean suggest -data data/ -subject "FootballPlayer 0001" -op + \
 //	                -label current_club -object "Club 0004" -at 2500000
@@ -11,16 +14,19 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"wiclean/internal/action"
 	"wiclean/internal/core"
 	"wiclean/internal/dump"
 	"wiclean/internal/mining"
+	"wiclean/internal/source"
 	"wiclean/internal/synth"
 	"wiclean/internal/taxonomy"
 	"wiclean/internal/windows"
@@ -70,7 +76,8 @@ func usage() {
 run 'wiclean <subcommand> -h' for flags`)
 }
 
-// worldFlags are the shared input-selection flags.
+// worldFlags are the shared input-selection flags, including the -source*
+// family selecting where revision histories are fetched from.
 type worldFlags struct {
 	data        string
 	domain      string
@@ -79,6 +86,7 @@ type worldFlags struct {
 	workers     int
 	joinWorkers int
 	levels      int
+	src         source.Options
 }
 
 func (wf *worldFlags) register(fs *flag.FlagSet) {
@@ -89,50 +97,157 @@ func (wf *worldFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&wf.workers, "workers", 0, "parallel workers (0 = all cores)")
 	fs.IntVar(&wf.joinWorkers, "join-workers", 0, "intra-window join workers per miner (0 = all cores)")
 	fs.IntVar(&wf.levels, "abstraction", 1, "type-hierarchy levels above base types to mine at")
+	wf.src = source.DefaultOptions()
+	wf.src.RegisterFlags(fs)
 }
 
-// loadedWorld is a store plus the seed set to mine.
+// loadedWorld is the mining input: the revision store the pipeline fetches
+// through (a source stack — see internal/source), the entity registry, and
+// the seed set. mem is the fully materialized history, present only with
+// -source memory; lazy sources never hold one.
 type loadedWorld struct {
-	store    *dump.History
+	store    mining.Store
+	mem      *dump.History
 	reg      *taxonomy.Registry
 	seeds    []taxonomy.EntityID
 	seedType taxonomy.Type
 	span     action.Window
 }
 
+// load resolves the flags into a world: the registry and seed set come
+// from -data or the synthetic generator, the actions from the selected
+// source (-source memory materializes them; dump streams the JSONL log
+// lazily; http fetches from a remote /history endpoint, for example
+// another wiclean-server).
 func (wf *worldFlags) load() (*loadedWorld, error) {
+	lw := &loadedWorld{}
+	kind := wf.src.Kind
+	if kind == "" {
+		kind = source.KindMemory
+	}
+
 	if wf.data != "" {
-		return loadDir(wf.data)
+		reg, seeds, err := loadUniverse(wf.data)
+		if err != nil {
+			return nil, err
+		}
+		lw.reg, lw.seeds = reg, seeds
+		lw.seedType = reg.TypeOf(seeds[0])
+		switch kind {
+		case source.KindMemory:
+			mem, err := loadActions(wf.data, reg)
+			if err != nil {
+				return nil, err
+			}
+			lw.mem = mem
+			lw.span = mem.Span()
+		case source.KindDump:
+			if wf.src.Path == "" {
+				wf.src.Path = filepath.Join(wf.data, "actions.jsonl")
+			}
+		}
+	} else {
+		if kind == source.KindDump {
+			return nil, fmt.Errorf("-source dump needs -data (or -source-path plus a -data universe)")
+		}
+		d, err := synth.DomainByName(wf.domain)
+		if err != nil {
+			return nil, err
+		}
+		p := synth.DefaultParams(d, wf.seeds)
+		p.Seed = wf.seed
+		w, err := synth.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		lw.reg, lw.seeds, lw.seedType = w.Reg, w.Seeds, d.SeedType
+		if kind == source.KindMemory {
+			lw.mem = w.History
+			lw.span = w.Span
+		}
 	}
-	d, err := synth.DomainByName(wf.domain)
+
+	// Lazy sources never materialize the log, so the revision span — which
+	// Algorithm 2 needs before it can split the timeline — is learned from
+	// the source itself.
+	switch kind {
+	case source.KindDump:
+		f, err := os.Open(wf.src.Path)
+		if err != nil {
+			return nil, err
+		}
+		span, n, err := source.ScanSpan(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("%s holds no action records", wf.src.Path)
+		}
+		lw.span = span
+	case source.KindHTTP:
+		if wf.src.URL == "" {
+			return nil, fmt.Errorf("-source http needs -source-url")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		span, err := source.NewHTTP(wf.src.URL, lw.reg, nil).Span(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("fetching remote span: %w", err)
+		}
+		lw.span = span
+	}
+
+	st, err := wf.src.Store(context.Background(), lw.mem, lw.reg)
 	if err != nil {
 		return nil, err
 	}
-	p := synth.DefaultParams(d, wf.seeds)
-	p.Seed = wf.seed
-	w, err := synth.Generate(p)
-	if err != nil {
-		return nil, err
-	}
-	return &loadedWorld{
-		store:    w.History,
-		reg:      w.Reg,
-		seeds:    w.Seeds,
-		seedType: d.SeedType,
-		span:     w.Span,
-	}, nil
+	lw.store = st
+	return lw, nil
 }
 
-func loadDir(dir string) (*loadedWorld, error) {
+// loadUniverse reads universe.jsonl and seeds.txt from a 'wiclean gen'
+// directory.
+func loadUniverse(dir string) (*taxonomy.Registry, []taxonomy.EntityID, error) {
 	uf, err := os.Open(filepath.Join(dir, "universe.jsonl"))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer uf.Close()
 	reg, err := dump.ReadUniverse(uf)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	sf, err := os.Open(filepath.Join(dir, "seeds.txt"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sf.Close()
+	var seeds []taxonomy.EntityID
+	sc := bufio.NewScanner(sf)
+	for sc.Scan() {
+		name := strings.TrimSpace(sc.Text())
+		if name == "" {
+			continue
+		}
+		id, ok := reg.Lookup(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("seeds.txt references unknown entity %q", name)
+		}
+		seeds = append(seeds, id)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(seeds) == 0 {
+		return nil, nil, fmt.Errorf("seeds.txt holds no seed entities")
+	}
+	return reg, seeds, nil
+}
+
+// loadActions materializes actions.jsonl into an in-memory history — the
+// -source memory path.
+func loadActions(dir string, reg *taxonomy.Registry) (*dump.History, error) {
 	af, err := os.Open(filepath.Join(dir, "actions.jsonl"))
 	if err != nil {
 		return nil, err
@@ -146,32 +261,7 @@ func loadDir(dir string) (*loadedWorld, error) {
 	if skipped := h.IngestRecords(recs); skipped > 0 {
 		fmt.Fprintf(os.Stderr, "wiclean: skipped %d action records referencing unknown entities\n", skipped)
 	}
-	sf, err := os.Open(filepath.Join(dir, "seeds.txt"))
-	if err != nil {
-		return nil, err
-	}
-	defer sf.Close()
-	lw := &loadedWorld{store: h, reg: reg, span: h.Span()}
-	sc := bufio.NewScanner(sf)
-	for sc.Scan() {
-		name := strings.TrimSpace(sc.Text())
-		if name == "" {
-			continue
-		}
-		id, ok := reg.Lookup(name)
-		if !ok {
-			return nil, fmt.Errorf("seeds.txt references unknown entity %q", name)
-		}
-		lw.seeds = append(lw.seeds, id)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(lw.seeds) == 0 {
-		return nil, fmt.Errorf("seeds.txt holds no seed entities")
-	}
-	lw.seedType = reg.TypeOf(lw.seeds[0])
-	return lw, nil
+	return h, nil
 }
 
 func cmdGen(args []string) error {

@@ -36,7 +36,10 @@ func cmdQuery(args []string) error {
 	if *to != 0 {
 		win.End = action.Time(*to)
 	}
-	db := sql.NewDatabase(lw.store, win)
+	if lw.mem == nil {
+		return fmt.Errorf("query needs the materialized revision log; rerun with -source memory")
+	}
+	db := sql.NewDatabase(lw.mem, win)
 	if *labels {
 		for i := 0; i < db.Labels.Len(); i++ {
 			fmt.Printf("%4d  %s\n", i, db.Labels.Name(relational.Value(i)))

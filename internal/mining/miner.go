@@ -94,12 +94,18 @@ func Mine(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w acti
 	}
 	preSpan.End()
 	m.stats.Preprocessing = time.Since(pre)
+	if err := fetchFailure(store); err != nil {
+		return nil, err
+	}
 
 	mine := time.Now()
 	growSpan := span.Child("grow")
 	m.seedSingletons()
-	m.grow()
+	err := m.grow()
 	growSpan.End()
+	if err != nil {
+		return nil, err
+	}
 	m.stats.Mining = time.Since(mine)
 
 	m.obs.Histogram(obs.MiningSeconds, obs.DurationBuckets).ObserveDuration(span.End())
@@ -268,19 +274,24 @@ func (m *miner) seedSourceCount(tbl *relational.Table) int {
 // when later type pulls add realizations to a template — the incremental
 // construction "refines the previously derived patterns with the newly
 // added abstract actions, rather than computing frequent patterns from
-// scratch".
-func (m *miner) grow() {
+// scratch". A fetch failure from a fallible store aborts the loop with
+// the wrapped error: better no result than one mined over a partially
+// fetched graph.
+func (m *miner) grow() error {
 	for {
 		pulled := false
 		if m.cfg.Incremental {
 			pulled = m.pullNewTypes()
+			if err := fetchFailure(m.store); err != nil {
+				return err
+			}
 			if pulled {
 				m.stats.TypeExpansions++
 			}
 		}
 		admitted := m.expandOnce()
 		if !admitted && !pulled {
-			return
+			return nil
 		}
 	}
 }
@@ -304,9 +315,46 @@ func (m *miner) pullNewTypes() bool {
 	m.obs.Counter(obs.MiningTypePulls).Add(int64(len(newTypes)))
 	sort.Slice(newTypes, func(i, j int) bool { return newTypes[i] < newTypes[j] })
 	for _, t := range newTypes {
-		m.extractEntities(m.reg.EntitiesOf(t))
+		m.extractType(t)
 	}
 	return true
+}
+
+// extractType pulls the revision histories of entities(t) — one
+// incremental expansion of lines 5–8. Against a TypeStore the whole type
+// comes back in a single fetch (the granularity the source layer's LRU
+// cache is keyed on); actions of entities already extracted through an
+// earlier, overlapping type pull are dropped so realization tables never
+// double-count. Plain stores fall back to the per-entity path.
+func (m *miner) extractType(t taxonomy.Type) {
+	ts, ok := m.store.(TypeStore)
+	if !ok {
+		m.extractEntities(m.reg.EntitiesOf(t))
+		return
+	}
+	fresh := map[taxonomy.EntityID]bool{}
+	for _, id := range m.reg.EntitiesOf(t) {
+		if !m.extractedEntities[id] {
+			m.extractedEntities[id] = true
+			fresh[id] = true
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	m.obs.Counter(obs.MiningEntitiesFetched).Add(int64(len(fresh)))
+	raw := ts.ActionsOfType(t, m.window)
+	kept := raw[:0:0]
+	seen := map[taxonomy.EntityID]bool{}
+	for _, a := range raw {
+		if !fresh[a.Edge.Src] {
+			continue
+		}
+		kept = append(kept, a)
+		seen[a.Edge.Src] = true
+	}
+	m.stats.NodesProcessed += len(seen)
+	m.ingest(kept)
 }
 
 // expandOnce sweeps all untested (pattern, template) pairs once (lines

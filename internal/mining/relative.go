@@ -76,7 +76,9 @@ func mineRelativeOne(store Store, base *Result, sp ScoredPattern, cfg Config) ([
 		Realizations: sp.Realizations,
 	}
 	m.order = append(m.order, key)
-	m.grow()
+	if err := m.grow(); err != nil {
+		return nil, err
+	}
 
 	var all []pattern.Pattern
 	for _, k := range m.order {

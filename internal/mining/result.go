@@ -13,13 +13,54 @@ import (
 )
 
 // Store is the revision-history access interface the miner consumes;
-// dump.History implements it. ActionsOf is the incremental path (histories
-// of chosen entities only); AllActions is the full-materialization path of
-// the non-incremental variants.
+// dump.History and source.Store implement it. ActionsOf is the
+// incremental path of §4's Optimization (b) (histories of chosen entities
+// only); AllActions is the full-materialization path of the
+// non-incremental variants (PM−inc, §6.1).
 type Store interface {
 	Registry() *taxonomy.Registry
 	ActionsOf(ids []taxonomy.EntityID, w action.Window) []action.Action
 	AllActions(w action.Window) []action.Action
+}
+
+// TypeStore is an optional Store extension for backends that fetch whole
+// type histories at once — the exact granularity of the incremental
+// loop's pulls ("extract the revision histories of every entity of each
+// type newly mentioned by a frequent pattern", Algorithm 1 lines 5–8).
+// When the store implements it, the miner pulls each new type with one
+// ActionsOfType call instead of one ActionsOf call per most specific
+// subtype, which is what makes a type-level fetch cache effective.
+type TypeStore interface {
+	Store
+
+	// ActionsOfType returns the actions of entities(t) inside w, sorted
+	// by time.
+	ActionsOfType(t taxonomy.Type, w action.Window) []action.Action
+}
+
+// FallibleStore is an optional Store extension for remote- or dump-backed
+// stores whose fetches can fail (source.Store). Store methods return no
+// errors, so such stores record the first failure; the miner checks
+// FetchErr at every pull boundary and aborts the run with the wrapped
+// error rather than mining a partially fetched edits graph.
+type FallibleStore interface {
+	Store
+
+	// FetchErr returns the first revision-history fetch failure, or nil.
+	FetchErr() error
+}
+
+// fetchFailure surfaces a FallibleStore's sticky error, wrapped with
+// mining context; plain in-memory stores never fail.
+func fetchFailure(s Store) error {
+	fs, ok := s.(FallibleStore)
+	if !ok {
+		return nil
+	}
+	if err := fs.FetchErr(); err != nil {
+		return fmt.Errorf("mining: revision-history fetch failed: %w", err)
+	}
+	return nil
 }
 
 // ScoredPattern is a mined pattern with its support evidence.

@@ -29,6 +29,26 @@ const (
 	RelationalPlannerDecisions  = "wiclean_relational_planner_decisions_total"
 	RelationalPartitionedProbes = "wiclean_relational_partitioned_probes_total"
 
+	// Revision-history source layer (internal/source): the on-demand
+	// type-history fetch path of §4's Optimization (b) and its resilience
+	// stack. Fetches/errors/latency count logical fetches (cache misses,
+	// including every retry attempt inside); retries and give-ups come
+	// from the backoff middleware; the cache series mirror the LRU of
+	// per-type histories shared across windows and refinement iterations.
+	SourceFetches        = "wiclean_source_fetches_total"
+	SourceFetchErrors    = "wiclean_source_fetch_errors_total"
+	SourceFetchSeconds   = "wiclean_source_fetch_duration_seconds"
+	SourceRetries        = "wiclean_source_retries_total"
+	SourceGiveUps        = "wiclean_source_giveups_total"
+	SourceInflight       = "wiclean_source_inflight_fetches"
+	SourceCacheHits      = "wiclean_source_cache_hits_total"
+	SourceCacheMisses    = "wiclean_source_cache_misses_total"
+	SourceCacheCoalesced = "wiclean_source_cache_coalesced_total"
+	SourceCacheEvictions = "wiclean_source_cache_evictions_total"
+	SourceCacheActions   = "wiclean_source_cache_actions"
+	SourceCacheTypes     = "wiclean_source_cache_types"
+	SourceFaultsInjected = "wiclean_source_faults_injected_total"
+
 	// Algorithm 2 (internal/windows).
 	WindowsRefinementSteps = "wiclean_windows_refinement_steps_total"
 	WindowsMined           = "wiclean_windows_mined_total"

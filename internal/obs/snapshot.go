@@ -18,6 +18,50 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observations by
+// linear interpolation inside the owning bucket, Prometheus
+// histogram_quantile-style. Observations in the +Inf bucket clamp to the
+// highest finite bound; an empty histogram reports 0. The estimate's
+// resolution is the bucket layout — good enough for the latency
+// percentiles the bench reports, not for exact order statistics.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 || len(h.Counts) != len(h.Bounds)+1 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			if i >= len(h.Bounds) { // +Inf bucket
+				return h.Bounds[len(h.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			hi := h.Bounds[i]
+			inBucket := float64(c)
+			below := float64(cum) - inBucket
+			frac := (rank - below) / inBucket
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // SpanSnapshot is the frozen aggregate of one span path.
 type SpanSnapshot struct {
 	Count        int64   `json:"count"`

@@ -20,6 +20,7 @@ import (
 	"wiclean/internal/core"
 	"wiclean/internal/detect"
 	"wiclean/internal/obs"
+	"wiclean/internal/source"
 	"wiclean/internal/taxonomy"
 )
 
@@ -117,7 +118,7 @@ func (s *Server) EnableDebug() { s.debug = true }
 var knownPaths = []string{
 	"/healthz", "/version", "/metrics",
 	"/patterns", "/errors", "/periodic", "/suggest",
-	"/debug/",
+	"/history", "/debug/",
 }
 
 // Handler returns the HTTP mux with every plugin endpoint mounted, plus
@@ -133,6 +134,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /errors", s.handleErrors)
 	mux.HandleFunc("GET /periodic", s.handlePeriodic)
 	mux.HandleFunc("POST /suggest", s.handleSuggest)
+	// /history serves this instance's revision store in the JSONL dump
+	// format, making the server a backend other miners can point
+	// "-source http -source-url .../history" at (see source.HTTP).
+	mux.Handle("GET /history", source.HistoryHandler(s.sys.Store(),
+		func() action.Window { return s.sys.Outcome().Span }))
 	if s.debug {
 		s.obs.PublishExpvar("wiclean")
 		mux.Handle("GET /debug/vars", expvar.Handler())

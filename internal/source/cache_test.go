@@ -1,0 +1,229 @@
+package source
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"wiclean/internal/action"
+	"wiclean/internal/obs"
+	"wiclean/internal/taxonomy"
+)
+
+// countingSource wraps a source and counts backend fetches per type.
+type countingSource struct {
+	src HistorySource
+
+	mu    sync.Mutex
+	calls map[taxonomy.Type]int
+}
+
+func newCounting(src HistorySource) *countingSource {
+	return &countingSource{src: src, calls: map[taxonomy.Type]int{}}
+}
+
+func (s *countingSource) Registry() *taxonomy.Registry { return s.src.Registry() }
+
+func (s *countingSource) FetchType(ctx context.Context, t taxonomy.Type, w action.Window) ([]action.Action, error) {
+	s.mu.Lock()
+	s.calls[t]++
+	s.mu.Unlock()
+	return s.src.FetchType(ctx, t, w)
+}
+
+func (s *countingSource) count(t taxonomy.Type) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[t]
+}
+
+// assertCacheObs checks that the cache's own accounting and the obs
+// counters tell the same story — the invariant the ops dashboards rely on.
+func assertCacheObs(t *testing.T, c *Cache, reg *obs.Registry) {
+	t.Helper()
+	st := c.Stats()
+	snap := reg.Snapshot()
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{obs.SourceCacheHits, snap.Counters[obs.SourceCacheHits], st.Hits},
+		{obs.SourceCacheMisses, snap.Counters[obs.SourceCacheMisses], st.Misses},
+		{obs.SourceCacheCoalesced, snap.Counters[obs.SourceCacheCoalesced], st.Coalesced},
+		{obs.SourceCacheEvictions, snap.Counters[obs.SourceCacheEvictions], st.Evictions},
+	}
+	for _, ch := range checks {
+		if ch.got != ch.want {
+			t.Fatalf("%s = %d, cache stats say %d", ch.name, ch.got, ch.want)
+		}
+	}
+}
+
+func TestCacheHitsAcrossWindows(t *testing.T) {
+	w := newTestWorld(t)
+	backend := newCounting(NewMemory(w.hist))
+	reg := obs.NewRegistry()
+	c := NewCache(backend, 1<<20, reg)
+	ctx := context.Background()
+
+	first, err := c.FetchType(ctx, "FootballPlayer", action.Window{Start: 0, End: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different (wider) window must be served from the same cached full
+	// history — this is what makes Algorithm 2's window doubling cheap.
+	second, err := c.FetchType(ctx, "FootballPlayer", w.span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.count("FootballPlayer"); got != 1 {
+		t.Fatalf("backend fetched %d times, want 1", got)
+	}
+	if len(second) < len(first) {
+		t.Fatalf("wider window returned fewer actions (%d < %d)", len(second), len(first))
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	assertCacheObs(t, c, reg)
+}
+
+func TestCacheWindowFilterAndImmutability(t *testing.T) {
+	w := newTestWorld(t)
+	c := NewCache(NewMemory(w.hist), 1<<20, nil)
+	ctx := context.Background()
+
+	narrow := action.Window{Start: 10, End: 14}
+	got, err := c.FetchType(ctx, "FootballPlayer", narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range got {
+		if !narrow.Contains(a.T) {
+			t.Fatalf("action at %d outside requested window %v", a.T, narrow)
+		}
+	}
+	// Mutate the returned slice; a later fetch must not see it.
+	for i := range got {
+		got[i].T = -999
+	}
+	again, err := c.FetchType(ctx, "FootballPlayer", narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range again {
+		if a.T == -999 {
+			t.Fatal("cache handed out a shared mutable slice")
+		}
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	w := newTestWorld(t)
+	backend := newCounting(NewMemory(w.hist))
+	reg := obs.NewRegistry()
+	// Players source 6 actions, clubs 6 (the squad edits); a capacity of 8
+	// holds one type but never both.
+	c := NewCache(backend, 8, reg)
+	ctx := context.Background()
+
+	if _, err := c.FetchType(ctx, "FootballPlayer", w.span); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchType(ctx, "FootballClub", w.span); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchType(ctx, "FootballPlayer", w.span); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.count("FootballPlayer"); got != 2 {
+		t.Fatalf("player history fetched %d times, want 2 (evicted between)", got)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want evictions > 0", st)
+	}
+	if st.Misses != 3 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 3 misses / 0 hits", st)
+	}
+	assertCacheObs(t, c, reg)
+}
+
+func TestCacheCoalescesConcurrentMisses(t *testing.T) {
+	w := newTestWorld(t)
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	backend := newCounting(&stubSource{reg: w.reg, fetch: func(ctx context.Context, tt taxonomy.Type, win action.Window) ([]action.Action, error) {
+		entered <- struct{}{}
+		<-gate
+		return w.hist.ActionsOf(w.players, win), nil
+	}})
+	reg := obs.NewRegistry()
+	c := NewCache(backend, 1<<20, reg)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	results := make([]int, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		as, err := c.FetchType(ctx, "FootballPlayer", w.span)
+		if err != nil {
+			t.Error(err)
+		}
+		results[0] = len(as)
+	}()
+	<-entered // the first fetch holds the backend
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		as, err := c.FetchType(ctx, "FootballPlayer", w.span)
+		if err != nil {
+			t.Error(err)
+		}
+		results[1] = len(as)
+	}()
+	// Wait for the second caller to register as coalesced, then release.
+	for c.Stats().Coalesced == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := backend.count("FootballPlayer"); got != 1 {
+		t.Fatalf("backend fetched %d times, want 1 (coalesced)", got)
+	}
+	if results[0] != results[1] || results[0] == 0 {
+		t.Fatalf("coalesced results differ: %v", results)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != 1 {
+		t.Fatalf("stats = %+v, want 1 miss / 1 coalesced", st)
+	}
+	assertCacheObs(t, c, reg)
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	w := newTestWorld(t)
+	backend := newCounting(WithFaults(NewMemory(w.hist), Faults{FailFirst: 1}, nil))
+	c := NewCache(backend, 1<<20, nil)
+	ctx := context.Background()
+
+	if _, err := c.FetchType(ctx, "FootballPlayer", w.span); err == nil {
+		t.Fatal("first fetch should fail")
+	}
+	as, err := c.FetchType(ctx, "FootballPlayer", w.span)
+	if err != nil {
+		t.Fatalf("second fetch should recover: %v", err)
+	}
+	if len(as) == 0 {
+		t.Fatal("second fetch returned no actions")
+	}
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("stats = %+v: a failed fetch must stay a miss", st)
+	}
+}

@@ -1,0 +1,173 @@
+package source
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"wiclean/internal/action"
+	"wiclean/internal/dump"
+	"wiclean/internal/taxonomy"
+)
+
+// HTTP is the remote HistorySource: it fetches per-type histories from a
+// MediaWiki-style endpoint serving the JSONL action format of
+// internal/dump. This is the networked deployment shape the paper had to
+// crawl around ("Due to the lack of an appropriate API, obtaining the
+// Wikipedia data required crawling and parsing", §6.1) — and the backend
+// every resilience middleware in this package exists for: a remote
+// history service is slow, rate-limited and occasionally down. A
+// wiclean-server exposes the matching endpoint at /history (see
+// HistoryHandler), so one WiClean instance can mine off another's store.
+type HTTP struct {
+	base   string
+	reg    *taxonomy.Registry
+	client *http.Client
+}
+
+// NewHTTP returns a source fetching from base (e.g.
+// "http://host:8754/history"), resolving entity names against reg. A nil
+// client uses http.DefaultClient; per-fetch deadlines come from the
+// context, i.e. from WithTimeout in the standard stack.
+func NewHTTP(base string, reg *taxonomy.Registry, client *http.Client) *HTTP {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTP{base: base, reg: reg, client: client}
+}
+
+// Registry returns the entity registry responses are resolved against.
+func (s *HTTP) Registry() *taxonomy.Registry { return s.reg }
+
+// FetchType GETs base?type=t&start=S&end=E and decodes the JSONL action
+// records. 4xx statuses are permanent errors (retrying an unknown type
+// cannot help); transport failures and 5xx statuses are transient.
+func (s *HTTP) FetchType(ctx context.Context, t taxonomy.Type, w action.Window) ([]action.Action, error) {
+	q := url.Values{}
+	q.Set("type", string(t))
+	q.Set("start", strconv.FormatInt(int64(w.Start), 10))
+	q.Set("end", strconv.FormatInt(int64(w.End), 10))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"?"+q.Encode(), nil)
+	if err != nil {
+		return nil, Permanent(fmt.Errorf("source: building request: %w", err))
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("source: fetching %q: %w", t, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("source: fetching %q: status %d: %s", t, resp.StatusCode, body)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, Permanent(err)
+		}
+		return nil, err
+	}
+	recs, err := dump.ReadActions(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("source: decoding %q: %w", t, err)
+	}
+	out := make([]action.Action, 0, len(recs))
+	for _, rec := range recs {
+		a, err := dump.ActionOf(rec, s.reg)
+		if err != nil {
+			continue // outside this client's entity universe
+		}
+		out = append(out, a)
+	}
+	action.SortByTime(out)
+	return out, nil
+}
+
+// Span GETs base?span=1 — the remote store's full revision window, which
+// the CLIs need before they can split a timeline they never hold locally.
+func (s *HTTP) Span(ctx context.Context) (action.Window, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"?span=1", nil)
+	if err != nil {
+		return action.Window{}, Permanent(err)
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return action.Window{}, fmt.Errorf("source: fetching span: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return action.Window{}, fmt.Errorf("source: fetching span: status %d", resp.StatusCode)
+	}
+	var sp spanPayload
+	if err := json.NewDecoder(resp.Body).Decode(&sp); err != nil {
+		return action.Window{}, fmt.Errorf("source: decoding span: %w", err)
+	}
+	return action.Window{Start: action.Time(sp.Start), End: action.Time(sp.End)}, nil
+}
+
+// spanPayload is the JSON body of the span endpoint.
+type spanPayload struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+// historyStore is the read surface HistoryHandler serves; dump.History
+// and the source Store both satisfy it (it is mining.Store minus
+// AllActions).
+type historyStore interface {
+	Registry() *taxonomy.Registry
+	ActionsOf(ids []taxonomy.EntityID, w action.Window) []action.Action
+}
+
+// HistoryHandler serves the remote end of the HTTP source over any
+// revision store:
+//
+//	GET ?type=T&start=S&end=E  →  JSONL dump.ActionRecord stream
+//	GET ?span=1                →  {"start": ..., "end": ...}
+//
+// Mounted at /history on the plugin server, it turns every wiclean-server
+// into a revision-history backend other miners can fetch from — the
+// paper's missing "publicly available structured revisions database"
+// (§6.1), served from whatever store this instance was loaded with.
+func HistoryHandler(store historyStore, span func() action.Window) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if q.Get("span") != "" {
+			sp := span()
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(spanPayload{Start: int64(sp.Start), End: int64(sp.End)})
+			return
+		}
+		reg := store.Registry()
+		t := taxonomy.Type(q.Get("type"))
+		if t == "" || !reg.Taxonomy().Has(t) {
+			http.Error(w, fmt.Sprintf("unknown type %q", t), http.StatusNotFound)
+			return
+		}
+		win := AllTime
+		if v := q.Get("start"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad start", http.StatusBadRequest)
+				return
+			}
+			win.Start = action.Time(n)
+		}
+		if v := q.Get("end"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad end", http.StatusBadRequest)
+				return
+			}
+			win.End = action.Time(n)
+		}
+		as := store.ActionsOf(reg.EntitiesOf(t), win)
+		recs := make([]dump.ActionRecord, len(as))
+		for i, a := range as {
+			recs[i] = dump.RecordOf(a, reg)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = dump.WriteActions(w, recs)
+	})
+}

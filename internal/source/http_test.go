@@ -1,0 +1,128 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"wiclean/internal/action"
+)
+
+// newHistoryServer serves the test world's history over the /history wire
+// protocol, exactly as a wiclean-server would.
+func newHistoryServer(t *testing.T, w *testWorld) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(HistoryHandler(w.hist, func() action.Window { return w.span }))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHTTPRoundtrip(t *testing.T) {
+	w := newTestWorld(t)
+	srv := newHistoryServer(t, w)
+	src := NewHTTP(srv.URL, w.reg, srv.Client())
+	ctx := context.Background()
+
+	for _, win := range []action.Window{w.span, {Start: 10, End: 14}} {
+		got, err := src.FetchType(ctx, "FootballPlayer", win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := w.hist.ActionsOf(w.players, win)
+		if len(got) != len(want) {
+			t.Fatalf("window %v: fetched %d actions over HTTP, want %d", win, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("window %v: action %d = %+v, want %+v", win, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHTTPSpan(t *testing.T) {
+	w := newTestWorld(t)
+	srv := newHistoryServer(t, w)
+	src := NewHTTP(srv.URL, w.reg, srv.Client())
+
+	got, err := src.Span(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != w.span {
+		t.Fatalf("remote span = %v, want %v", got, w.span)
+	}
+}
+
+func TestHTTPUnknownTypeIsPermanent(t *testing.T) {
+	w := newTestWorld(t)
+	srv := newHistoryServer(t, w)
+	src := NewHTTP(srv.URL, w.reg, srv.Client())
+
+	_, err := src.FetchType(context.Background(), "NoSuchType", w.span)
+	if err == nil || !IsPermanent(err) {
+		t.Fatalf("404 must be permanent, got %v", err)
+	}
+}
+
+// TestHTTPRetryMasksServerHiccups wires the HTTP source through the retry
+// middleware against a server that fails its first two responses with 503 —
+// the transient remote outage the stack exists for.
+func TestHTTPRetryMasksServerHiccups(t *testing.T) {
+	w := newTestWorld(t)
+	var calls atomic.Int64
+	inner := HistoryHandler(w.hist, func() action.Window { return w.span })
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(rw, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(rw, r)
+	}))
+	defer srv.Close()
+
+	p := DefaultRetryPolicy()
+	p.Sleep = noSleep
+	src := WithRetry(NewHTTP(srv.URL, w.reg, srv.Client()), p)
+
+	got, err := src.FetchType(context.Background(), "FootballPlayer", w.span)
+	if err != nil {
+		t.Fatalf("retry failed to mask 503s: %v", err)
+	}
+	if want := w.hist.ActionsOf(w.players, w.span); len(got) != len(want) {
+		t.Fatalf("got %d actions after retry, want %d", len(got), len(want))
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two 503s + success)", calls.Load())
+	}
+}
+
+// TestHTTPRetryDoesNotHammerOn404 pins the permanent/transient split end to
+// end: a 404 from the wire must reach the caller after exactly one request.
+func TestHTTPRetryDoesNotHammerOn404(t *testing.T) {
+	w := newTestWorld(t)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(rw, "no such type", http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	p := DefaultRetryPolicy()
+	p.Sleep = noSleep
+	src := WithRetry(NewHTTP(srv.URL, w.reg, srv.Client()), p)
+
+	_, err := src.FetchType(context.Background(), "FootballPlayer", w.span)
+	if err == nil || !IsPermanent(err) {
+		t.Fatalf("want permanent error from 404, got %v", err)
+	}
+	if errors.Is(err, ErrExhausted) {
+		t.Fatalf("a 404 is not retry exhaustion: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d requests for a permanent failure, want 1", calls.Load())
+	}
+}

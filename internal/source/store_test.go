@@ -1,0 +1,137 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"wiclean/internal/action"
+	"wiclean/internal/mining"
+)
+
+// buildStack assembles the standard Options stack over the test world's
+// in-memory history, with optional faults and an instant retry base.
+func buildStack(t *testing.T, w *testWorld, faults *Faults) *Store {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Faults = faults
+	opts.RetryBase = 1 // 1ns: tests never wait out real backoff
+	opts.Retries = 5
+	st, err := opts.Store(context.Background(), w.hist, w.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStoreMatchesHistory(t *testing.T) {
+	w := newTestWorld(t)
+	st := buildStack(t, w, nil)
+
+	// ActionsOf over a mixed-type id set must equal the in-memory path.
+	for _, win := range []action.Window{w.span, {Start: 10, End: 14}, {Start: 500, End: 600}} {
+		idset := append(append(w.players[:0:0], w.players...), w.clubs...)
+		got := st.ActionsOf(idset, win)
+		want := w.hist.ActionsOf(idset, win)
+		if len(got) != len(want) {
+			t.Fatalf("window %v: ActionsOf returned %d actions, want %d", win, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("window %v: action %d = %+v, want %+v", win, i, got[i], want[i])
+			}
+		}
+	}
+
+	gotAll := st.AllActions(w.span)
+	wantAll := w.hist.AllActions(w.span)
+	if len(gotAll) != len(wantAll) {
+		t.Fatalf("AllActions returned %d actions, want %d", len(gotAll), len(wantAll))
+	}
+
+	byType := st.ActionsOfType("FootballPlayer", w.span)
+	wantType := w.hist.ActionsOf(w.players, w.span)
+	if len(byType) != len(wantType) {
+		t.Fatalf("ActionsOfType returned %d actions, want %d", len(byType), len(wantType))
+	}
+	if err := st.FetchErr(); err != nil {
+		t.Fatalf("clean store reports fetch error: %v", err)
+	}
+}
+
+func TestStoreImplementsMinerInterfaces(t *testing.T) {
+	w := newTestWorld(t)
+	st := buildStack(t, w, nil)
+	var s mining.Store = st
+	if _, ok := s.(mining.TypeStore); !ok {
+		t.Fatal("Store does not implement mining.TypeStore")
+	}
+	if _, ok := s.(mining.FallibleStore); !ok {
+		t.Fatal("Store does not implement mining.FallibleStore")
+	}
+}
+
+func TestStoreMiningEquivalence(t *testing.T) {
+	w := newTestWorld(t)
+	st := buildStack(t, w, nil)
+	cfg := mining.PM(0.7)
+	cfg.MaxAbstraction = 0
+
+	direct, err := mining.Mine(w.hist, w.players, "FootballPlayer", w.span, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSource, err := mining.Mine(st, w.players, "FootballPlayer", w.span, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Format() != viaSource.Format() {
+		t.Fatalf("mining through the source stack diverged:\ndirect:\n%s\nsource:\n%s",
+			direct.Format(), viaSource.Format())
+	}
+}
+
+func TestStoreStickyError(t *testing.T) {
+	w := newTestWorld(t)
+	// Rate 1.0: every attempt fails, the retry allowance runs dry.
+	st := buildStack(t, w, &Faults{Rate: 1.0})
+
+	if got := st.ActionsOfType("FootballPlayer", w.span); len(got) != 0 {
+		t.Fatalf("failing store returned %d actions, want none", len(got))
+	}
+	err := st.FetchErr()
+	if err == nil {
+		t.Fatal("FetchErr is nil after a failed fetch")
+	}
+	var fe *FetchError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *FetchError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, ErrExhausted) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("error chain lost its markers: %v", err)
+	}
+
+	// The error is sticky and later fetches short-circuit without reaching
+	// the backend: the first failure is preserved verbatim.
+	if got := st.ActionsOf(w.players, w.span); len(got) != 0 {
+		t.Fatalf("store kept serving after failure: %d actions", len(got))
+	}
+	if again := st.FetchErr(); !errors.Is(again, err) && again.Error() != err.Error() {
+		t.Fatalf("sticky error changed: %v -> %v", err, again)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := (Options{Kind: KindDump}).Build(nil, nil); err == nil {
+		t.Fatal("dump kind without a path must fail")
+	}
+	if _, err := (Options{Kind: KindHTTP}).Build(nil, nil); err == nil {
+		t.Fatal("http kind without a URL must fail")
+	}
+	if _, err := (Options{Kind: "carrier-pigeon"}).Build(nil, nil); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if _, err := (Options{Kind: KindMemory}).Build(nil, nil); err == nil {
+		t.Fatal("memory kind without a history must fail")
+	}
+}

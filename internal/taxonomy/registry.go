@@ -109,6 +109,21 @@ func (r *Registry) EntitiesOf(t Type) []EntityID {
 	return out
 }
 
+// PopulatedTypes returns every type that is the most specific type of at
+// least one entity, sorted by name. Together the returned types partition
+// the entity universe, which is how type-granular revision sources
+// (internal/source) enumerate "all histories" without an entity scan.
+func (r *Registry) PopulatedTypes() []Type {
+	out := make([]Type, 0, len(r.byType))
+	for t, ids := range r.byType {
+		if len(ids) > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // CountOf returns |entities(t)| without materializing the slice.
 func (r *Registry) CountOf(t Type) int {
 	n := 0

@@ -1,9 +1,17 @@
-// Package windows implements Algorithm 2 of the paper: splitting the
-// revision timeline into non-overlapping windows, mining each window (in
-// parallel — the paper calls the per-window loop "embarrassingly
+// Package windows implements Algorithm 2 of the paper (§4.3): splitting
+// the revision timeline into non-overlapping windows, mining each window
+// (in parallel — the paper calls the per-window loop "embarrassingly
 // parallelized"), and iteratively refining the window width and frequency
 // threshold until the discovered pattern set stabilizes, followed by the
-// relative-frequent-patterns stage.
+// relative-frequent-patterns stage (§4.2).
+//
+// Every parallel window miner and every refinement iteration consumes the
+// same mining.Store instance. When that store is a source.Store, its LRU
+// cache of per-type histories is therefore shared across the whole walk:
+// the widened re-mining steps re-request the same entity types and hit
+// the cache instead of the backend, and a fetch failure in any window
+// aborts the run with a typed error instead of converging on patterns
+// mined from a partially fetched graph.
 package windows
 
 import (
