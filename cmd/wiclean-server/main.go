@@ -6,6 +6,9 @@
 //	wiclean-server -domain soccer -seeds 300 -addr :8754
 //	wiclean-server -data data/              # serve a 'wiclean gen' world
 //	wiclean-server -data data/ -source dump # ... streaming it lazily
+//	wiclean-server -data data/ -model model.json      # warm start, no mining
+//	wiclean-server -data data/ -save-model model.json # persist after mining
+//	wiclean-server -data data/ -checkpoint mine.ckpt  # resumable mining
 //	wiclean-server -debug   # adds /debug/vars and /debug/pprof/
 //
 // Endpoints:
@@ -47,6 +50,7 @@ import (
 	"wiclean/internal/core"
 	"wiclean/internal/dump"
 	"wiclean/internal/mining"
+	"wiclean/internal/model"
 	"wiclean/internal/obs"
 	"wiclean/internal/plugin"
 	"wiclean/internal/source"
@@ -203,6 +207,10 @@ func main() {
 	joinWorkers := flag.Int("join-workers", 0, "intra-window join workers per miner (0 = all cores)")
 	debug := flag.Bool("debug", false, "expose /debug/vars and /debug/pprof/")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	modelPath := flag.String("model", "", "serve a saved wiclean-model file instead of mining at startup")
+	saveModel := flag.String("save-model", "", "after mining, save the model to this file")
+	checkpoint := flag.String("checkpoint", "", "persist refinement state here; a restarted server resumes mining from it")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint every Nth refinement iteration (0 = every)")
 	opts := source.DefaultOptions()
 	opts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -221,8 +229,39 @@ func main() {
 	sys := core.New(w.store, cfg).WithObs(metrics)
 
 	start := time.Now()
-	if _, err := sys.Mine(w.seeds, w.seedType, w.span); err != nil {
-		log.Fatalf("wiclean-server: mining: %v", err)
+	var prov model.Provenance
+	if *modelPath != "" || *saveModel != "" || *checkpoint != "" {
+		if prov, err = model.Fingerprint(w.reg, w.span, sys.Config()); err != nil {
+			log.Fatalf("wiclean-server: %v", err)
+		}
+	}
+	how := "mined"
+	if *modelPath != "" {
+		// Warm start: serve a persisted model without invoking the miner.
+		// Verify rejects a model recorded against different data or
+		// settings instead of silently serving stale patterns.
+		f, err := model.Load(*modelPath, metrics)
+		if err != nil {
+			log.Fatalf("wiclean-server: %v", err)
+		}
+		if err := f.Verify(prov); err != nil {
+			log.Fatalf("wiclean-server: %v", err)
+		}
+		sys.UseOutcome(f.Outcome())
+		how = "loaded from " + *modelPath
+	} else {
+		if *checkpoint != "" {
+			sys.WithCheckpoint(model.NewCheckpointer(*checkpoint, prov, metrics), *checkpointEvery)
+		}
+		if _, err := sys.Mine(w.seeds, w.seedType, w.span); err != nil {
+			log.Fatalf("wiclean-server: mining: %v", err)
+		}
+		if *saveModel != "" {
+			if err := model.Save(*saveModel, model.Snapshot(sys.Outcome(), w.reg, prov), metrics); err != nil {
+				log.Fatalf("wiclean-server: %v", err)
+			}
+			log.Printf("wiclean-server: model saved to %s", *saveModel)
+		}
 	}
 	srv, err := plugin.NewServer(sys, *workers)
 	if err != nil {
@@ -231,8 +270,8 @@ func main() {
 	if *debug {
 		srv.EnableDebug()
 	}
-	log.Printf("wiclean-server: %d patterns mined over %s in %v; listening on %s (debug=%v)",
-		len(sys.Outcome().Discovered), *domain, time.Since(start).Round(time.Millisecond), *addr, *debug)
+	log.Printf("wiclean-server: %d patterns %s over %s in %v; listening on %s (debug=%v)",
+		len(sys.Outcome().Discovered), how, *domain, time.Since(start).Round(time.Millisecond), *addr, *debug)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -7,7 +7,9 @@
 //	wiclean mine    -data data/ -source dump   # stream actions.jsonl lazily
 //	wiclean mine    -domain soccer -source http \
 //	                -source-url http://host:8754/history
-//	wiclean detect  -data data/
+//	wiclean mine    -data data/ -save-model model.json -checkpoint mine.ckpt
+//	wiclean mine    -data data/ -load-model model.json  # warm start, no mining
+//	wiclean detect  -data data/ -model model.json
 //	wiclean suggest -data data/ -subject "FootballPlayer 0001" -op + \
 //	                -label current_club -object "Club 0004" -at 2500000
 package main
@@ -15,6 +17,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +29,7 @@ import (
 	"wiclean/internal/core"
 	"wiclean/internal/dump"
 	"wiclean/internal/mining"
+	"wiclean/internal/model"
 	"wiclean/internal/source"
 	"wiclean/internal/synth"
 	"wiclean/internal/taxonomy"
@@ -349,7 +353,11 @@ func cmdMine(args []string) error {
 	fs := flag.NewFlagSet("mine", flag.ExitOnError)
 	var wf worldFlags
 	wf.register(fs)
-	save := fs.String("save", "", "write the mined model (patterns + windows) to this file")
+	save := fs.String("save", "", "write the mined model in the legacy windows format to this file")
+	saveModel := fs.String("save-model", "", "write the mined model (versioned wiclean-model format) to this file")
+	loadModel := fs.String("load-model", "", "serve a previously saved model instead of mining (provenance-checked)")
+	checkpoint := fs.String("checkpoint", "", "persist refinement state to this file; an interrupted run resumes from it")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "checkpoint every Nth refinement iteration (0 = every)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -357,9 +365,45 @@ func cmdMine(args []string) error {
 	if err != nil {
 		return err
 	}
-	o, err := sys.Mine(lw.seeds, lw.seedType, lw.span)
-	if err != nil {
-		return err
+	// The provenance fingerprint guards every model artifact: a saved model
+	// records it, a loaded model and a resumed checkpoint must match it.
+	var prov model.Provenance
+	if *saveModel != "" || *loadModel != "" || *checkpoint != "" {
+		prov, err = model.Fingerprint(lw.reg, lw.span, sys.Config())
+		if err != nil {
+			return err
+		}
+	}
+	var o *windows.Outcome
+	var loaded *model.File
+	if *loadModel != "" {
+		if loaded, err = model.Load(*loadModel, nil); err != nil {
+			return err
+		}
+		if err := loaded.Verify(prov); err != nil {
+			return err
+		}
+		o = loaded.Outcome()
+		fmt.Fprintf(os.Stderr, "model loaded from %s (%d patterns, no mining)\n", *loadModel, len(o.Discovered))
+	} else {
+		if *checkpoint != "" {
+			sys.WithCheckpoint(model.NewCheckpointer(*checkpoint, prov, nil), *checkpointEvery)
+		}
+		if o, err = sys.Mine(lw.seeds, lw.seedType, lw.span); err != nil {
+			return err
+		}
+	}
+	if *saveModel != "" {
+		// A loaded file round-trips verbatim (load → save is byte-identical,
+		// the invariant CI's model job compares); a fresh mine snapshots.
+		out := loaded
+		if out == nil {
+			out = model.Snapshot(o, lw.reg, prov)
+		}
+		if err := model.Save(*saveModel, out, nil); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "model saved to %s\n", *saveModel)
 	}
 	if *save != "" {
 		if err := writeFile(*save, func(f *os.File) error {
@@ -407,7 +451,7 @@ func cmdDetect(args []string) error {
 	var wf worldFlags
 	wf.register(fs)
 	limit := fs.Int("limit", 10, "max partial edits to print per pattern")
-	model := fs.String("model", "", "reuse a model saved by 'wiclean mine -save' instead of mining")
+	modelPath := fs.String("model", "", "reuse a saved model (wiclean-model or legacy format) instead of mining")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -415,24 +459,16 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *model != "" {
-		mf, err := os.Open(*model)
-		if err != nil {
+	if *modelPath != "" {
+		if err := useSavedModel(sys, lw, *modelPath); err != nil {
 			return err
 		}
-		m, err := windows.ReadModel(mf)
-		mf.Close()
-		if err != nil {
-			return err
-		}
-		sys.UseModel(m)
 	} else if _, err := sys.Mine(lw.seeds, lw.seedType, lw.span); err != nil {
 		return err
 	}
-	reports, err := sys.DetectErrors(wf.workers)
-	if err != nil {
-		return err
-	}
+	// DetectErrors aggregates per-task failures and still returns the
+	// successful reports; print what completed before surfacing the errors.
+	reports, derr := sys.DetectErrors(wf.workers)
 	total := 0
 	for _, rep := range reports {
 		if rep == nil || len(rep.Partials) == 0 {
@@ -453,6 +489,39 @@ func cmdDetect(args []string) error {
 		}
 	}
 	fmt.Printf("\n%d potential errors signaled in total\n", total)
+	return derr
+}
+
+// useSavedModel installs a saved model into the system: the versioned
+// wiclean-model format (provenance-verified against the loaded world)
+// with a fallback to the legacy windows format for files written by
+// 'wiclean mine -save'.
+func useSavedModel(sys *core.System, lw *loadedWorld, path string) error {
+	f, err := model.Load(path, nil)
+	if err == nil {
+		prov, perr := model.Fingerprint(lw.reg, lw.span, sys.Config())
+		if perr != nil {
+			return perr
+		}
+		if verr := f.Verify(prov); verr != nil {
+			return verr
+		}
+		sys.UseOutcome(f.Outcome())
+		return nil
+	}
+	if !errors.Is(err, model.ErrNotModel) {
+		return err
+	}
+	mf, oerr := os.Open(path)
+	if oerr != nil {
+		return oerr
+	}
+	m, rerr := windows.ReadModel(mf)
+	mf.Close()
+	if rerr != nil {
+		return rerr
+	}
+	sys.UseModel(m)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package assist
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -228,5 +229,93 @@ func TestFindPeriodicToleranceBoundary(t *testing.T) {
 	}
 	if got := FindPeriodic(occ, pats, 0.05); len(got) != 0 {
 		t.Fatalf("outside tolerance accepted: %v", got)
+	}
+}
+
+// TestIndexSize checks the inverted index's reported dimensions.
+func TestIndexSize(t *testing.T) {
+	_, store, _, _ := setup(t)
+	as := NewAssistant(store, []KnownPattern{
+		{Pattern: reciprocal(), Frequency: 0.8, Width: 100},
+		{Pattern: transfer3(), Frequency: 0.6, Width: 100},
+	})
+	keys, entries := as.IndexSize()
+	if entries != 5 { // 2 + 3 abstract actions
+		t.Errorf("entries = %d, want 5", entries)
+	}
+	if keys == 0 || keys > entries {
+		t.Errorf("keys = %d out of (0, %d]", keys, entries)
+	}
+}
+
+// suggestBruteForce is the pre-index reference implementation: scan every
+// pattern, match its first realized action.
+func suggestBruteForce(a *Assistant, edit action.Action, now action.Time) []Advice {
+	var out []Advice
+	for _, kp := range a.patterns {
+		p := kp.Pattern
+		for ai, abs := range p.Actions {
+			if !a.realizes(edit, p, abs) {
+				continue
+			}
+			binding := make([]taxonomy.EntityID, len(p.Vars))
+			for i := range binding {
+				binding[i] = taxonomy.NoEntity
+			}
+			binding[abs.Src] = edit.Edge.Src
+			binding[abs.Dst] = edit.Edge.Dst
+			width := kp.Width
+			if width <= 0 {
+				width = 2 * action.Week
+			}
+			start := now - now%width
+			win := action.Window{Start: start, End: start + width}
+			done, missing := a.companions(p, ai, binding, win)
+			out = append(out, Advice{Pattern: p, Frequency: kp.Frequency, Matched: ai, Done: done, Missing: missing})
+			break
+		}
+	}
+	return out
+}
+
+// TestSuggestIndexMatchesBruteForce drives the indexed Suggest and the
+// reference full scan over every (entity, op, label) combination of a
+// multi-pattern world and asserts identical advice, including the
+// supertype-matching path (patterns over Athlete must fire for
+// FootballPlayer edits).
+func TestSuggestIndexMatchesBruteForce(t *testing.T) {
+	reg, store, players, clubs := setup(t)
+	athleteReciprocal := pattern.Pattern{
+		Vars: []taxonomy.Type{"Athlete", "Organisation"},
+		Actions: []pattern.AbstractAction{
+			{Op: action.Add, Src: 0, Label: "member_of", Dst: 1},
+			{Op: action.Add, Src: 1, Label: "roster", Dst: 0},
+		},
+	}
+	as := NewAssistant(store, []KnownPattern{
+		{Pattern: reciprocal(), Frequency: 0.8, Width: 100},
+		{Pattern: transfer3(), Frequency: 0.6, Width: 100},
+		{Pattern: athleteReciprocal, Frequency: 0.7, Width: 200},
+	})
+	// Seed some window history so done/missing splits are non-trivial.
+	store.AddActions(
+		action.Action{Op: action.Add, Edge: action.Edge{Src: clubs[0], Label: "squad", Dst: players[0]}, T: 10},
+		action.Action{Op: action.Remove, Edge: action.Edge{Src: players[1], Label: "current_club", Dst: clubs[1]}, T: 20},
+	)
+	subjects := append(append([]taxonomy.EntityID{}, players...), clubs...)
+	for _, src := range subjects {
+		for _, dst := range subjects {
+			for _, op := range []action.Op{action.Add, action.Remove} {
+				for _, label := range []action.Label{"current_club", "squad", "member_of", "roster", "unrelated"} {
+					edit := action.Action{Op: op, Edge: action.Edge{Src: src, Label: label, Dst: dst}, T: 50}
+					got := as.Suggest(edit, 50)
+					want := suggestBruteForce(as, edit, 50)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("divergence for op=%d label=%s src=%s dst=%s:\n got %+v\nwant %+v",
+							op, label, reg.Name(src), reg.Name(dst), got, want)
+					}
+				}
+			}
+		}
 	}
 }

@@ -46,26 +46,67 @@ func (a Advice) Format(reg *taxonomy.Registry) string {
 	return b.String()
 }
 
+// actionKey indexes abstract actions by the parts of a live edit that must
+// match exactly: the operation, the relation label, and the source
+// variable's declared type. A concrete edit realizes such an action iff
+// the edit's source entity has the declared type (in the ≤ sense), so
+// probing one key per ancestor of the editor's most specific type finds
+// every candidate without scanning the pattern list.
+type actionKey struct {
+	op    action.Op
+	label action.Label
+	src   taxonomy.Type
+}
+
+// candidate references one abstract action of one known pattern.
+type candidate struct {
+	pat int // index into Assistant.patterns
+	act int // index into the pattern's Actions
+}
+
 // Assistant matches live edits against known patterns and suggests
 // completions.
 type Assistant struct {
 	store    mining.Store
 	patterns []KnownPattern
-	obs      *obs.Registry // nil-safe metrics sink
+	index    map[actionKey][]candidate // (op, label, src type) → actions
+	obs      *obs.Registry             // nil-safe metrics sink
 }
 
 // NewAssistant returns an assistant over the store with the given mined
-// patterns.
+// patterns. Construction builds the inverted action index Suggest probes,
+// so per-edit lookup cost scales with the editor's type depth and the
+// matching candidates, not with the size of the whole pattern model.
 func NewAssistant(store mining.Store, patterns []KnownPattern) *Assistant {
 	ps := append([]KnownPattern(nil), patterns...)
 	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Frequency > ps[j].Frequency })
-	return &Assistant{store: store, patterns: ps}
+	index := make(map[actionKey][]candidate)
+	for pi, kp := range ps {
+		for ai, abs := range kp.Pattern.Actions {
+			key := actionKey{op: abs.Op, label: abs.Label, src: kp.Pattern.Vars[abs.Src]}
+			index[key] = append(index[key], candidate{pat: pi, act: ai})
+		}
+	}
+	return &Assistant{store: store, patterns: ps, index: index}
+}
+
+// IndexSize reports the inverted index's dimensions: distinct (op, label,
+// source-type) keys and total (pattern, action) entries.
+func (a *Assistant) IndexSize() (keys, entries int) {
+	for _, cs := range a.index {
+		entries += len(cs)
+	}
+	return len(a.index), entries
 }
 
 // WithObs attaches a metrics registry (requests, advices produced,
-// suggestion latency) and returns the assistant. Nil is a safe no-op sink.
+// suggestion latency, index probes and sizes) and returns the assistant.
+// Nil is a safe no-op sink.
 func (a *Assistant) WithObs(r *obs.Registry) *Assistant {
 	a.obs = r
+	keys, entries := a.IndexSize()
+	r.Gauge(obs.AssistIndexKeys).Set(float64(keys))
+	r.Gauge(obs.AssistIndexEntries).Set(float64(entries))
 	return a
 }
 
@@ -80,40 +121,70 @@ func (a *Assistant) Suggest(edit action.Action, now action.Time) []Advice {
 		a.obs.Histogram(obs.AssistSuggestSeconds, obs.DurationBuckets).
 			ObserveDuration(time.Since(start))
 	}()
-	var out []Advice
-	for _, kp := range a.patterns {
-		p := kp.Pattern
-		for ai, abs := range p.Actions {
-			if !a.realizes(edit, p, abs) {
-				continue
-			}
-			// Bind the matched action's variables to the edit's entities.
-			binding := make([]taxonomy.EntityID, len(p.Vars))
-			for i := range binding {
-				binding[i] = taxonomy.NoEntity
-			}
-			binding[abs.Src] = edit.Edge.Src
-			binding[abs.Dst] = edit.Edge.Dst
+	reg := a.store.Registry()
+	tax := reg.Taxonomy()
 
-			// The pattern's current window: the width-aligned window
-			// containing now.
-			width := kp.Width
-			if width <= 0 {
-				width = 2 * action.Week
-			}
-			start := now - now%width
-			win := action.Window{Start: start, End: start + width}
+	// Probe the inverted index once per ancestor of the editing entity's
+	// most specific type. Together the probes enumerate exactly the
+	// abstract actions whose source variable the edit can bind, without
+	// scanning the full pattern list.
+	var cands []candidate
+	for _, t := range tax.Ancestors(reg.TypeOf(edit.Edge.Src)) {
+		a.obs.Counter(obs.AssistIndexProbes).Inc()
+		cands = append(cands, a.index[actionKey{op: edit.Op, label: edit.Edge.Label, src: t}]...)
+	}
+	a.obs.Counter(obs.AssistIndexCandidates).Add(int64(len(cands)))
 
-			done, missing := a.companions(p, ai, binding, win)
-			out = append(out, Advice{
-				Pattern:   p,
-				Frequency: kp.Frequency,
-				Matched:   ai,
-				Done:      done,
-				Missing:   missing,
-			})
-			break // one advice per pattern, on the first matching action
+	// One advice per pattern, on its lowest-index action the edit fully
+	// realizes — the same selection the former linear scan made.
+	matched := map[int]int{} // pattern index → matched action index
+	for _, c := range cands {
+		p := a.patterns[c.pat].Pattern
+		if !reg.HasType(edit.Edge.Dst, p.Vars[p.Actions[c.act].Dst]) {
+			continue
 		}
+		if cur, ok := matched[c.pat]; !ok || c.act < cur {
+			matched[c.pat] = c.act
+		}
+	}
+	order := make([]int, 0, len(matched))
+	for pi := range matched {
+		order = append(order, pi)
+	}
+	sort.Ints(order) // patterns are pre-sorted by descending frequency
+
+	var out []Advice
+	for _, pi := range order {
+		kp := a.patterns[pi]
+		p := kp.Pattern
+		ai := matched[pi]
+		abs := p.Actions[ai]
+
+		// Bind the matched action's variables to the edit's entities.
+		binding := make([]taxonomy.EntityID, len(p.Vars))
+		for i := range binding {
+			binding[i] = taxonomy.NoEntity
+		}
+		binding[abs.Src] = edit.Edge.Src
+		binding[abs.Dst] = edit.Edge.Dst
+
+		// The pattern's current window: the width-aligned window
+		// containing now.
+		width := kp.Width
+		if width <= 0 {
+			width = 2 * action.Week
+		}
+		start := now - now%width
+		win := action.Window{Start: start, End: start + width}
+
+		done, missing := a.companions(p, ai, binding, win)
+		out = append(out, Advice{
+			Pattern:   p,
+			Frequency: kp.Frequency,
+			Matched:   ai,
+			Done:      done,
+			Missing:   missing,
+		})
 	}
 	a.obs.Counter(obs.AssistAdvices).Add(int64(len(out)))
 	return out

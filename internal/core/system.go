@@ -45,6 +45,20 @@ func (s *System) WithObs(r *obs.Registry) *System {
 // Obs returns the attached metrics registry (possibly nil).
 func (s *System) Obs() *obs.Registry { return s.obs }
 
+// Config returns the window-mining configuration the system was built
+// with — the input to provenance fingerprinting (see internal/model).
+func (s *System) Config() windows.Config { return s.config }
+
+// WithCheckpoint wires a refinement checkpointer into subsequent Mine
+// calls: every Nth iteration (<=0 = every) persists the walk's state, and
+// a killed run resumes from the last completed iteration. Pass a
+// model.FileCheckpointer for the durable implementation.
+func (s *System) WithCheckpoint(cp windows.Checkpointer, every int) *System {
+	s.config.Checkpoint = cp
+	s.config.CheckpointEvery = every
+	return s
+}
+
 // Store returns the revision store.
 func (s *System) Store() mining.Store { return s.store }
 
@@ -88,9 +102,15 @@ func (s *System) MineSeedEntity(name string, span action.Window) (*windows.Outco
 // Outcome returns the cached mining outcome, if Mine has run.
 func (s *System) Outcome() *windows.Outcome { return s.outcome }
 
+// UseOutcome installs a previously mined outcome — typically rebuilt from
+// a persisted model file (see internal/model) — so that detection and
+// assistance can run without re-mining. This is the warm-start path: a
+// server handed a saved model reaches ready without invoking the miner.
+func (s *System) UseOutcome(o *windows.Outcome) { s.outcome = o }
+
 // UseModel installs a previously mined model (see windows.Model) so that
 // detection and assistance can run without re-mining.
-func (s *System) UseModel(m *windows.Model) { s.outcome = m.Outcome() }
+func (s *System) UseModel(m *windows.Model) { s.UseOutcome(m.Outcome()) }
 
 // DetectErrors runs Algorithm 3 for every discovered pattern over its
 // mined window width across the span, in parallel — the cleaning

@@ -330,3 +330,40 @@ func TestReportFormat(t *testing.T) {
 		t.Fatalf("Format = %q", text)
 	}
 }
+
+// TestFindAllAggregatesErrors checks the partial-failure contract: every
+// failed task contributes to the joined error, and the successful tasks'
+// reports are still returned in their slots.
+func TestFindAllAggregatesErrors(t *testing.T) {
+	w := newWorld(t)
+	w.join(0, 0, 10, true)
+	w.join(1, 1, 20, false)
+	d := New(w.store)
+	bad := pattern.Pattern{} // fails validation inside FindPartials
+	tasks := []Task{
+		{Pattern: reciprocalPattern(), Window: action.Window{Start: 0, End: 50}},
+		{Pattern: bad, Window: action.Window{Start: 0, End: 50}},
+		{Pattern: reciprocalPattern(), Window: action.Window{Start: 50, End: 100}},
+		{Pattern: bad, Window: action.Window{Start: 50, End: 100}},
+	}
+	reports, err := d.FindAll(tasks, 2)
+	if err == nil {
+		t.Fatal("failing tasks should surface an error")
+	}
+	// errors.Join renders one line per joined error.
+	if n := len(strings.Split(err.Error(), "\n")); n != 2 {
+		t.Errorf("joined error carries %d lines, want 2: %v", n, err)
+	}
+	if len(reports) != len(tasks) {
+		t.Fatalf("reports = %d, want %d", len(reports), len(tasks))
+	}
+	if reports[0] == nil || reports[2] == nil {
+		t.Error("successful tasks should keep their reports")
+	}
+	if reports[1] != nil || reports[3] != nil {
+		t.Error("failed tasks should have nil reports")
+	}
+	if TotalPartials(reports) != 1 {
+		t.Errorf("TotalPartials = %d, want 1", TotalPartials(reports))
+	}
+}

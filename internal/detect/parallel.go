@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 
@@ -17,7 +18,11 @@ type Task struct {
 }
 
 // FindAll runs FindPartials for every task with the given worker count
-// (<= 0 means GOMAXPROCS) and returns reports in task order.
+// (<= 0 means GOMAXPROCS) and returns reports in task order. When tasks
+// fail, every failure is reported (joined with errors.Join, one entry per
+// failed task) and the successful reports are still returned — failed
+// slots are nil — so a caller can use the partial results or surface the
+// complete error list rather than just the first.
 func (d *Detector) FindAll(tasks []Task, workers int) ([]*Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -44,12 +49,7 @@ func (d *Detector) FindAll(tasks []Task, workers int) ([]*Report, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return reports, nil
+	return reports, errors.Join(errs...)
 }
 
 // TotalPartials sums the signaled potential errors across reports — the

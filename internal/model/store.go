@@ -1,0 +1,168 @@
+package model
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wiclean/internal/obs"
+	"wiclean/internal/windows"
+)
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory plus rename, so a crash mid-write never leaves a truncated
+// model or checkpoint behind — readers see the old file or the new one.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// Save atomically writes the model to path, reporting size and duration
+// into reg (nil-safe).
+func Save(path string, f *File, reg *obs.Registry) error {
+	start := time.Now()
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("model: saving %s: %w", path, err)
+	}
+	reg.Counter(obs.ModelSaves).Inc()
+	reg.Counter(obs.ModelSaveBytes).Add(int64(buf.Len()))
+	reg.Gauge(obs.ModelPatterns).Set(float64(len(f.Patterns)))
+	reg.Histogram(obs.ModelSaveSeconds, obs.DurationBuckets).ObserveDuration(time.Since(start))
+	return nil
+}
+
+// Load reads and validates the model at path, reporting size and duration
+// into reg (nil-safe).
+func Load(path string, reg *obs.Registry) (*File, error) {
+	start := time.Now()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("model: loading %s: %w", path, err)
+	}
+	f, err := Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("model: loading %s: %w", path, err)
+	}
+	reg.Counter(obs.ModelLoads).Inc()
+	reg.Counter(obs.ModelLoadBytes).Add(int64(len(data)))
+	reg.Gauge(obs.ModelPatterns).Set(float64(len(f.Patterns)))
+	reg.Histogram(obs.ModelLoadSeconds, obs.DurationBuckets).ObserveDuration(time.Since(start))
+	return f, nil
+}
+
+// CheckpointFormat is the format name of refinement-checkpoint files.
+const CheckpointFormat = "wiclean-checkpoint"
+
+// checkpointFile is the on-disk envelope around a refinement state: the
+// same versioned, provenance-guarded framing as model files, so a
+// checkpoint recorded against different data or settings is detected
+// instead of resumed.
+type checkpointFile struct {
+	Format     string                   `json:"format"`
+	Version    int                      `json:"version"`
+	Provenance Provenance               `json:"provenance"`
+	State      *windows.CheckpointState `json:"state"`
+}
+
+// FileCheckpointer persists Algorithm 2 refinement state to one file,
+// implementing windows.Checkpointer. Writes are atomic; Load verifies the
+// format version and the provenance fingerprint before resuming.
+type FileCheckpointer struct {
+	path string
+	prov Provenance
+	obs  *obs.Registry
+}
+
+// NewCheckpointer returns a checkpointer writing to path, guarding resumes
+// with the given provenance. reg (nil-safe) receives save counts, bytes
+// and durations.
+func NewCheckpointer(path string, prov Provenance, reg *obs.Registry) *FileCheckpointer {
+	return &FileCheckpointer{path: path, prov: prov, obs: reg}
+}
+
+// Save atomically persists the state.
+func (c *FileCheckpointer) Save(st *windows.CheckpointState) error {
+	start := time.Now()
+	env := checkpointFile{Format: CheckpointFormat, Version: Version, Provenance: c.prov, State: st}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&env); err != nil {
+		return fmt.Errorf("model: encoding checkpoint: %w", err)
+	}
+	if err := writeFileAtomic(c.path, buf.Bytes()); err != nil {
+		return fmt.Errorf("model: saving checkpoint %s: %w", c.path, err)
+	}
+	c.obs.Counter(obs.CheckpointSaves).Inc()
+	c.obs.Counter(obs.CheckpointBytes).Add(int64(buf.Len()))
+	c.obs.Histogram(obs.CheckpointSeconds, obs.DurationBuckets).ObserveDuration(time.Since(start))
+	return nil
+}
+
+// Load returns the persisted state, (nil, nil) when no checkpoint exists,
+// or an error — a *StaleError when the checkpoint's provenance does not
+// match this checkpointer's.
+func (c *FileCheckpointer) Load() (*windows.CheckpointState, error) {
+	data, err := os.ReadFile(c.path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("model: reading checkpoint %s: %w", c.path, err)
+	}
+	var env checkpointFile
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("model: decoding checkpoint %s: %w", c.path, err)
+	}
+	if env.Format != CheckpointFormat {
+		return nil, fmt.Errorf("%w: checkpoint format %q", ErrNotModel, env.Format)
+	}
+	if env.Version <= 0 || env.Version > Version {
+		return nil, fmt.Errorf("model: unsupported checkpoint version %d (supported: 1..%d)", env.Version, Version)
+	}
+	if !c.prov.Matches(env.Provenance) {
+		return nil, &StaleError{Want: c.prov, Got: env.Provenance}
+	}
+	if env.State == nil {
+		return nil, fmt.Errorf("model: checkpoint %s holds no state", c.path)
+	}
+	for i, d := range env.State.Discovered {
+		if err := d.Pattern.Validate(); err != nil {
+			return nil, fmt.Errorf("model: checkpoint %s pattern %d: %w", c.path, i, err)
+		}
+	}
+	return env.State, nil
+}
+
+// Clear removes the checkpoint file; a missing file is not an error.
+func (c *FileCheckpointer) Clear() error {
+	if err := os.Remove(c.path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("model: clearing checkpoint %s: %w", c.path, err)
+	}
+	return nil
+}

@@ -64,10 +64,32 @@ const (
 	DetectFull        = "wiclean_detect_full_realizations_total"
 	DetectSeconds     = "wiclean_detect_duration_seconds"
 
-	// Edit assistance (internal/assist).
-	AssistRequests       = "wiclean_assist_requests_total"
-	AssistAdvices        = "wiclean_assist_advices_total"
-	AssistSuggestSeconds = "wiclean_assist_suggest_duration_seconds"
+	// Edit assistance (internal/assist). The index series describe the
+	// (op, label, source-type) → patterns inverted index the assistant
+	// probes per live edit instead of scanning the full pattern list.
+	AssistRequests        = "wiclean_assist_requests_total"
+	AssistAdvices         = "wiclean_assist_advices_total"
+	AssistSuggestSeconds  = "wiclean_assist_suggest_duration_seconds"
+	AssistIndexKeys       = "wiclean_assist_index_keys"
+	AssistIndexEntries    = "wiclean_assist_index_entries"
+	AssistIndexProbes     = "wiclean_assist_index_probes_total"
+	AssistIndexCandidates = "wiclean_assist_index_candidates_total"
+
+	// Model store & warm start (internal/model): persisted pattern models
+	// and the Algorithm 2 refinement checkpoints. Byte counters track the
+	// serialized size; the gauge reports the pattern count of the last
+	// model written or read.
+	ModelSaves        = "wiclean_model_saves_total"
+	ModelLoads        = "wiclean_model_loads_total"
+	ModelSaveBytes    = "wiclean_model_save_bytes_total"
+	ModelLoadBytes    = "wiclean_model_load_bytes_total"
+	ModelSaveSeconds  = "wiclean_model_save_duration_seconds"
+	ModelLoadSeconds  = "wiclean_model_load_duration_seconds"
+	ModelPatterns     = "wiclean_model_patterns"
+	CheckpointSaves   = "wiclean_checkpoint_saves_total"
+	CheckpointBytes   = "wiclean_checkpoint_bytes_total"
+	CheckpointSeconds = "wiclean_checkpoint_save_duration_seconds"
+	CheckpointResumes = "wiclean_checkpoint_resumes_total"
 
 	// HTTP surface (internal/plugin). Both carry a path label; the
 	// request counter adds a status-class code label.

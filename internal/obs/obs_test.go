@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -262,5 +263,60 @@ func TestLabeled(t *testing.T) {
 	want := `m{a="x\"y",b="p\\q"}`
 	if got != want {
 		t.Errorf("Labeled = %q, want %q", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// 10 observations: 4 in (0, 1], 4 in (1, 2], 2 in (2, +Inf).
+	filled := HistogramSnapshot{
+		Bounds: []float64{1, 2},
+		Counts: []uint64{4, 4, 2},
+		Count:  10,
+		Sum:    14,
+	}
+	empty := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{0, 0, 0}}
+	malformed := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{4}, Count: 4}
+
+	tests := []struct {
+		name string
+		h    HistogramSnapshot
+		q    float64
+		want float64
+	}{
+		{"median", filled, 0.5, 1.25},
+		{"p90-clamps-to-top-bound", filled, 0.9, 2},
+		{"q0", filled, 0, 0},
+		{"q1-inf-bucket-clamps", filled, 1, 2},
+		{"q-below-range-clamps", filled, -3, 0},
+		{"q-above-range-clamps", filled, 7, 2},
+		{"q-nan-clamps-to-zero", filled, math.NaN(), 0},
+		{"empty-histogram", empty, 0.5, 0},
+		{"empty-histogram-q1", empty, 1, 0},
+		{"malformed-counts", malformed, 0.5, 0},
+		{"zero-value", HistogramSnapshot{}, 0.5, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.h.Quantile(tc.q)
+			if math.IsNaN(got) || math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistogramQuantileLiveRegistry(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", []float64{0.1, 1, 10})
+	// Empty live histogram is total too.
+	if got := r.Snapshot().Histograms["q_seconds"].Quantile(0.99); got != 0 {
+		t.Fatalf("empty live histogram Quantile = %v, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	got := r.Snapshot().Histograms["q_seconds"].Quantile(0.5)
+	if got <= 0.1 || got > 1 {
+		t.Errorf("median of 0.5s observations = %v, want within (0.1, 1]", got)
 	}
 }

@@ -18,17 +18,20 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
-// Quantile estimates the q-quantile (q in [0, 1]) of the observations by
-// linear interpolation inside the owning bucket, Prometheus
+// Quantile estimates the q-quantile of the observations by linear
+// interpolation inside the owning bucket, Prometheus
 // histogram_quantile-style. Observations in the +Inf bucket clamp to the
-// highest finite bound; an empty histogram reports 0. The estimate's
-// resolution is the bucket layout — good enough for the latency
-// percentiles the bench reports, not for exact order statistics.
+// highest finite bound. The function is total: q is clamped into [0, 1]
+// (NaN counts as 0), and an empty or malformed histogram — zero
+// observations, no bounds, or a Counts slice that does not line up with
+// Bounds — reports 0 rather than panicking. The estimate's resolution is
+// the bucket layout — good enough for the latency percentiles the bench
+// reports, not for exact order statistics.
 func (h HistogramSnapshot) Quantile(q float64) float64 {
 	if h.Count == 0 || len(h.Bounds) == 0 || len(h.Counts) != len(h.Bounds)+1 {
 		return 0
 	}
-	if q < 0 {
+	if math.IsNaN(q) || q < 0 {
 		q = 0
 	}
 	if q > 1 {

@@ -14,8 +14,11 @@ import (
 // testServer builds one small politics server for all tests, exposed over
 // httptest so the typed Client exercises the real HTTP surface.
 var (
-	cachedSrv *Server
-	cachedTS  *httptest.Server
+	cachedSrv   *Server
+	cachedTS    *httptest.Server
+	cachedSys   *core.System
+	cachedWorld *synth.World
+	cachedCfg   windows.Config
 )
 
 func getClient(t *testing.T) *Client {
@@ -44,6 +47,7 @@ func getClient(t *testing.T) *Client {
 		}
 		cachedSrv = srv
 		cachedTS = httptest.NewServer(srv.Handler())
+		cachedSys, cachedWorld, cachedCfg = sys, w, cfg
 	}
 	return NewClient(cachedTS.URL)
 }

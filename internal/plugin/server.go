@@ -57,7 +57,7 @@ type PeriodicInfo struct {
 // SuggestRequest is the live-edit description posted to /suggest.
 type SuggestRequest struct {
 	Subject string `json:"subject"`
-	Op      string `json:"op"` // "+" or "-"
+	Op      string `json:"op"` // "+" or "-"; empty means "+", anything else is a 400
 	Label   string `json:"label"`
 	Object  string `json:"object"`
 	At      int64  `json:"at"`
@@ -261,6 +261,19 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
+	// Validate the operation up front: only "+" (or the empty default) and
+	// "-" are meaningful. Anything else used to be silently treated as an
+	// addition, turning client typos into wrong advice.
+	var op action.Op
+	switch req.Op {
+	case "+", "":
+		op = action.Add
+	case "-":
+		op = action.Remove
+	default:
+		httpError(w, http.StatusBadRequest, "invalid op %q: want \"+\", \"-\" or empty", req.Op)
+		return
+	}
 	src, ok := s.reg.Lookup(req.Subject)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown subject %q", req.Subject)
@@ -270,10 +283,6 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown object %q", req.Object)
 		return
-	}
-	op := action.Add
-	if req.Op == "-" {
-		op = action.Remove
 	}
 	edit := action.Action{
 		Op:   op,

@@ -1,0 +1,59 @@
+package windows
+
+import (
+	"time"
+
+	"wiclean/internal/action"
+	"wiclean/internal/mining"
+)
+
+// CheckpointState is the resumable state of the Algorithm 2 refinement
+// walk, captured at the top of a refinement iteration (i.e. after the
+// previous iteration fully completed). Resuming replays the walk from
+// Step onward: because per-window mining is deterministic, re-entering the
+// loop with the restored discovered set and τ/width trajectory produces
+// exactly the outcome an uninterrupted run would have.
+type CheckpointState struct {
+	// Step is the refinement iteration about to run when the state was
+	// captured; iterations 0..Step-1 are complete.
+	Step int `json:"step"`
+
+	// Width, Tau and WidenNext are the refinement setting and alternation
+	// state for iteration Step.
+	Width     action.Time `json:"width"`
+	Tau       float64     `json:"tau"`
+	WidenNext bool        `json:"widen_next"`
+
+	// NoProgress counts consecutive fruitless steps so far (the patience
+	// walk of §4.3 resumes mid-streak).
+	NoProgress int `json:"no_progress"`
+
+	// Discovered is every distinct pattern found through iteration Step-1,
+	// each with its best-frequency occurrence.
+	Discovered []DiscoveredPattern `json:"discovered"`
+
+	// Stats and WindowDurations are the work accounting accumulated so
+	// far; restored so a resumed run's outcome reports the whole walk.
+	Stats           mining.Stats    `json:"stats"`
+	WindowDurations []time.Duration `json:"window_durations,omitempty"`
+}
+
+// Checkpointer persists refinement state between iterations. Run calls
+// Save at the top of each iteration (subject to Config.CheckpointEvery),
+// Load once at startup, and Clear after a fully successful run. The
+// file-backed implementation with a versioned envelope and provenance
+// guard lives in internal/model (model.FileCheckpointer); windows only
+// depends on this interface so the serialization format stays in one
+// place without an import cycle.
+type Checkpointer interface {
+	// Save persists the state; it must not retain st after returning.
+	Save(st *CheckpointState) error
+
+	// Load returns the most recent state, or (nil, nil) when none exists.
+	// A state recorded against different inputs should fail here, not
+	// resume silently.
+	Load() (*CheckpointState, error)
+
+	// Clear discards the persisted state after a successful run.
+	Clear() error
+}

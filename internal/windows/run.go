@@ -1,6 +1,7 @@
 package windows
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,6 +18,16 @@ import (
 // relative-patterns stage then runs over the converged windows.
 func Run(store mining.Store, seeds []taxonomy.EntityID, seedType taxonomy.Type,
 	span action.Window, cfg Config) (*Outcome, error) {
+	return RunContext(context.Background(), store, seeds, seedType, span, cfg)
+}
+
+// RunContext is Run with cancellation: the walk stops cleanly between
+// refinement iterations when ctx is done, returning the context's error.
+// With cfg.Checkpoint set, the interrupted walk's state is already
+// persisted, so a subsequent call resumes from the last completed
+// iteration (the kill/restart contract of the warm-start serving path).
+func RunContext(ctx context.Context, store mining.Store, seeds []taxonomy.EntityID,
+	seedType taxonomy.Type, span action.Window, cfg Config) (*Outcome, error) {
 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -51,11 +62,58 @@ func Run(store mining.Store, seeds []taxonomy.EntityID, seedType taxonomy.Type,
 	tau := cfg.InitialTau
 	widenNext := true // alternation state: widen first, then cut, ...
 	noProgress := 0   // consecutive refinement steps without new patterns
+	startStep := 0
+
+	// Resume: restore the walk from its last checkpoint, if one exists.
+	// The state was captured at the top of iteration Step, so re-entering
+	// the loop there replays the walk deterministically — identical
+	// discoveries, identical convergence — with iterations 0..Step-1
+	// skipped.
+	if cfg.Checkpoint != nil {
+		st, err := cfg.Checkpoint.Load()
+		if err != nil {
+			return nil, fmt.Errorf("windows: loading checkpoint: %w", err)
+		}
+		if st != nil {
+			startStep = st.Step
+			width, tau = st.Width, st.Tau
+			widenNext, noProgress = st.WidenNext, st.NoProgress
+			out.Discovered = append([]DiscoveredPattern(nil), st.Discovered...)
+			out.Stats = st.Stats
+			out.WindowDurations = append([]time.Duration(nil), st.WindowDurations...)
+			for i, d := range out.Discovered {
+				seen[d.Pattern.Canonical()] = i
+			}
+			cfg.Obs.Counter(obs.CheckpointResumes).Inc()
+		}
+	}
+	checkpointEvery := cfg.CheckpointEvery
+	if checkpointEvery <= 0 {
+		checkpointEvery = 1
+	}
 
 	var finalResults []*mining.Result
 	var finalWindows []action.Window
 
-	for step := 0; ; step++ {
+	for step := startStep; ; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("windows: interrupted before step %d: %w", step, err)
+		}
+		if cfg.Checkpoint != nil && step%checkpointEvery == 0 {
+			st := &CheckpointState{
+				Step:            step,
+				Width:           width,
+				Tau:             tau,
+				WidenNext:       widenNext,
+				NoProgress:      noProgress,
+				Discovered:      out.Discovered,
+				Stats:           out.Stats,
+				WindowDurations: out.WindowDurations,
+			}
+			if err := cfg.Checkpoint.Save(st); err != nil {
+				return nil, fmt.Errorf("windows: checkpointing step %d: %w", step, err)
+			}
+		}
 		mcfg := cfg.Mining
 		mcfg.Tau = tau
 		wins := span.Split(width)
@@ -137,6 +195,13 @@ func Run(store mining.Store, seeds []taxonomy.EntityID, seedType taxonomy.Type,
 		relSpan.End()
 		if err != nil {
 			return nil, err
+		}
+	}
+	// A completed run needs no resume point; the durable artifact from
+	// here on is the model (internal/model), not the checkpoint.
+	if cfg.Checkpoint != nil {
+		if err := cfg.Checkpoint.Clear(); err != nil {
+			return nil, fmt.Errorf("windows: clearing checkpoint: %w", err)
 		}
 	}
 	out.Elapsed = time.Since(start)

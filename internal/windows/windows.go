@@ -65,6 +65,19 @@ type Config struct {
 	// time experiments that only measure the frequent-patterns stage).
 	SkipRelative bool
 
+	// Checkpoint, when non-nil, persists the refinement walk's state at
+	// the top of each iteration so a killed run resumes from its last
+	// completed iteration instead of restarting at step 0 (see
+	// model.NewCheckpointer for the file-backed implementation). Because
+	// per-window mining is deterministic, a resumed run converges on the
+	// same outcome an uninterrupted one would.
+	Checkpoint Checkpointer
+
+	// CheckpointEvery checkpoints every Nth refinement iteration (<=0 =
+	// every iteration). Larger values trade re-mined iterations after a
+	// crash for fewer writes.
+	CheckpointEvery int
+
 	// Obs receives the refinement walk's metrics (steps, per-window mining
 	// durations, the τ/width trajectory) and is forwarded to every
 	// per-window miner. Nil is a safe no-op.

@@ -34,6 +34,7 @@ import (
 	"wiclean/internal/detect"
 	"wiclean/internal/dump"
 	"wiclean/internal/mining"
+	"wiclean/internal/model"
 	"wiclean/internal/obs"
 	"wiclean/internal/pattern"
 	"wiclean/internal/sql"
@@ -119,8 +120,15 @@ type (
 	// System is the end-to-end WiClean pipeline over one store.
 	System = core.System
 
-	// Model is the serializable product of a mining run.
+	// Model is the serializable product of a mining run (legacy format;
+	// prefer ModelFile).
 	Model = windows.Model
+
+	// ModelFile is the versioned, provenance-guarded on-disk model — the
+	// persistent pattern store the serving path warm-starts from.
+	ModelFile = model.File
+	// ModelProvenance fingerprints the inputs a model was mined from.
+	ModelProvenance = model.Provenance
 
 	// Database is a SQL-queryable view of a revision log (tables: actions,
 	// reduced).
@@ -206,6 +214,29 @@ func NewDatabase(h *History, w Window) *Database { return sql.NewDatabase(h, w) 
 var (
 	WriteModel = windows.WriteModel
 	ReadModel  = windows.ReadModel
+)
+
+// Persistent model store (internal/model): versioned files with a
+// provenance fingerprint, checked at load so a stale model is rejected
+// rather than silently served. Typical flow:
+//
+//	prov, _ := wiclean.Fingerprint(reg, span, cfg)
+//	_ = wiclean.SaveModel("model.json", wiclean.SnapshotModel(outcome, reg, prov), nil)
+//	f, _ := wiclean.LoadModel("model.json", nil)
+//	if err := f.Verify(prov); err == nil { sys.UseOutcome(f.Outcome()) }
+var (
+	// SaveModel atomically writes a model file (metrics registry optional).
+	SaveModel = model.Save
+	// LoadModel reads and validates a model file.
+	LoadModel = model.Load
+	// Fingerprint computes the provenance of mining a registry over a span
+	// with a configuration.
+	Fingerprint = model.Fingerprint
+	// SnapshotModel extracts the serializable part of an outcome.
+	SnapshotModel = model.Snapshot
+	// NewCheckpointer returns a file-backed refinement checkpointer; wire
+	// it with System.WithCheckpoint to make Algorithm 2 runs resumable.
+	NewCheckpointer = model.NewCheckpointer
 )
 
 // Synthetic evaluation domains (the paper's three).
