@@ -1,0 +1,173 @@
+// Package analysis is WiClean's static-analysis framework: a minimal,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// Analyzer/Pass/Diagnostic vocabulary, plus the //wiclean:allow-* escape
+// hatch shared by every project analyzer.
+//
+// The repo vendors no third-party modules (the build must stay hermetic:
+// `go build ./...` with an empty module cache and no network), so the
+// x/tools framework itself is out of reach. This package mirrors its shape
+// closely enough that each analyzer is a mechanical port should the
+// dependency ever be adopted: an Analyzer bundles a name, a doc string and
+// a Run function; Run receives a Pass holding one type-checked package and
+// reports Diagnostics through it. Drivers live elsewhere —
+// internal/analysis/driver loads packages via `go list -export` for the
+// standalone cmd/wiclean-lint binary and the in-tree self-run test, and
+// internal/analysis/analysistest type-checks testdata/src fixture trees
+// for analyzer unit tests.
+//
+// # Escape hatch
+//
+// A finding can be suppressed with a directive comment
+//
+//	//wiclean:allow-<directive> <reason>
+//
+// on the offending line or the line immediately above it, where
+// <directive> is the analyzer's Directive (e.g. allow-nondet for the
+// determinism analyzer). The reason is mandatory: a bare directive does
+// not suppress anything and is itself reported, so every exemption in the
+// tree documents why it is sound. See DirectiveName in each analyzer
+// package and ARCHITECTURE.md §5 for the per-analyzer rationale.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer minus facts and dependencies,
+// which no WiClean analyzer needs.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flag names. It must
+	// be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph documentation shown by `wiclean-lint -list`
+	// and asserted non-empty by the checks registry test.
+	Doc string
+
+	// Directive, when non-empty, names the //wiclean:allow-<Directive>
+	// suffix that suppresses this analyzer's findings. Analyzers honor it
+	// through Pass.Allowed.
+	Directive string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic; drivers install it.
+	Report func(Diagnostic)
+
+	directives map[int][]Directive // line -> directives ending on that line
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned within Pass.Fset.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Directive is one parsed //wiclean:allow-<name> comment.
+type Directive struct {
+	Name   string // the <name> suffix, e.g. "nondet"
+	Reason string // text after the directive; empty reasons do not exempt
+	Pos    token.Pos
+	Line   int // line the comment ends on
+}
+
+// DirectivePrefix is the comment prefix of every escape-hatch directive.
+const DirectivePrefix = "//wiclean:allow-"
+
+// parseDirectives scans every comment in the pass's files once and
+// indexes directives by end line.
+func (p *Pass) parseDirectives() {
+	p.directives = map[int][]Directive{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				// A nested comment marker ends the directive: it lets test
+				// fixtures append `// want ...` expectations after one.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				d := Directive{
+					Name:   name,
+					Reason: strings.TrimSpace(reason),
+					Pos:    c.Pos(),
+					Line:   p.Fset.Position(c.End()).Line,
+				}
+				p.directives[d.Line] = append(p.directives[d.Line], d)
+			}
+		}
+	}
+}
+
+// Allowed reports whether a finding at pos is suppressed by a reasoned
+// //wiclean:allow-<name> directive on the same line or the line directly
+// above. Directives with an empty reason never suppress (CheckDirectives
+// reports them).
+func (p *Pass) Allowed(name string, pos token.Pos) bool {
+	if p.directives == nil {
+		p.parseDirectives()
+	}
+	line := p.Fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, d := range p.directives[l] {
+			if d.Name == name && d.Reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckDirectives reports every //wiclean:allow-<name> directive for the
+// pass's analyzer that lacks a reason. Analyzers owning a directive call
+// it once from Run, so a bare escape hatch is itself a finding.
+func (p *Pass) CheckDirectives(name string) {
+	if p.directives == nil {
+		p.parseDirectives()
+	}
+	for _, ds := range p.directives {
+		for _, d := range ds {
+			if d.Name == name && d.Reason == "" {
+				p.Reportf(d.Pos, "%s%s needs a reason explaining why the exemption is sound", DirectivePrefix, name)
+			}
+		}
+	}
+}
+
+// NewInfo returns a types.Info with every map analyzers consume
+// allocated. Drivers share it so all passes see the same field set.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFixture parses one synthetic file with comments.
+func parseFixture(t *testing.T, src string) (*token.FileSet, *Pass, *[]Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: &Analyzer{Name: "fake", Directive: "fake"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	return fset, pass, &diags
+}
+
+const directiveSrc = `package p
+
+func a() {
+	_ = 1 //wiclean:allow-fake reasoned same-line exemption
+	//wiclean:allow-fake reasoned line-above exemption
+	_ = 2
+	_ = 3 //wiclean:allow-fake
+	_ = 4 //wiclean:allow-other a different analyzer's directive
+	_ = 5
+}
+`
+
+// posOnLine returns a Pos on the given 1-based line of the fixture file.
+func posOnLine(fset *token.FileSet, line int) token.Pos {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestAllowed(t *testing.T) {
+	fset, pass, _ := parseFixture(t, directiveSrc)
+	cases := []struct {
+		line int
+		want bool
+		why  string
+	}{
+		{4, true, "same-line reasoned directive"},
+		{5, true, "line-above rule sees the line-4 directive, harmlessly"},
+		{6, true, "reasoned directive on the line above"},
+		{7, false, "bare directive must not exempt"},
+		{8, false, "another analyzer's directive must not exempt"},
+		{9, false, "no directive at all"},
+	}
+	for _, c := range cases {
+		if got := pass.Allowed("fake", posOnLine(fset, c.line)); got != c.want {
+			t.Errorf("Allowed(fake, line %d) = %v, want %v (%s)", c.line, got, c.want, c.why)
+		}
+	}
+}
+
+func TestCheckDirectivesReportsBareOnes(t *testing.T) {
+	_, pass, diags := parseFixture(t, directiveSrc)
+	pass.CheckDirectives("fake")
+	if len(*diags) != 1 {
+		t.Fatalf("CheckDirectives reported %d diagnostics, want 1 (the bare line-7 directive): %v", len(*diags), *diags)
+	}
+	d := (*diags)[0]
+	if !strings.Contains(d.Message, "needs a reason") {
+		t.Errorf("diagnostic message %q does not explain the missing reason", d.Message)
+	}
+	if line := pass.Fset.Position(d.Pos).Line; line != 7 {
+		t.Errorf("diagnostic on line %d, want 7", line)
+	}
+}
+
+func TestDirectiveReasonStopsAtNestedComment(t *testing.T) {
+	fset, pass, _ := parseFixture(t, "package p\n\nfunc a() {\n\t_ = 1 //wiclean:allow-fake // want trailing-marker text\n}\n")
+	if pass.Allowed("fake", posOnLine(fset, 4)) {
+		t.Error("a directive whose reason is only a nested // marker must not exempt")
+	}
+}

@@ -1,0 +1,24 @@
+// Package checks is the registry of WiClean's project analyzers — the
+// single list cmd/wiclean-lint, the CI lint job and the in-tree self-run
+// test all consume, so the documented analyzer set and the enforced one
+// cannot drift apart.
+package checks
+
+import (
+	"wiclean/internal/analysis"
+	"wiclean/internal/analysis/ctxfirst"
+	"wiclean/internal/analysis/determinism"
+	"wiclean/internal/analysis/obsnil"
+	"wiclean/internal/analysis/wraperr"
+)
+
+// All returns every project analyzer, in the documented order. See
+// ARCHITECTURE.md §5 for the invariant each one protects.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		wraperr.Analyzer,
+		obsnil.Analyzer,
+		ctxfirst.Analyzer,
+	}
+}

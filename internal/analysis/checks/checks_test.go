@@ -1,0 +1,46 @@
+package checks
+
+import "testing"
+
+// TestRegisteredAnalyzers pins the multichecker to exactly the documented
+// analyzer set: names, escape-hatch directives, and non-empty docs. A new
+// analyzer (or a renamed one) must update this test, README's Linting
+// section and ARCHITECTURE.md §5 together.
+func TestRegisteredAnalyzers(t *testing.T) {
+	want := map[string]string{ // name -> allow-directive
+		"determinism": "nondet",
+		"wraperr":     "wraperr",
+		"obsnil":      "obsnil",
+		"ctxfirst":    "ctxfirst",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if seen[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		dir, ok := want[a.Name]
+		if !ok {
+			t.Errorf("unexpected analyzer %q", a.Name)
+			continue
+		}
+		if a.Directive != dir {
+			t.Errorf("analyzer %q directive = %q, want %q", a.Name, a.Directive, dir)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no documentation", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run function", a.Name)
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("documented analyzer %q not registered", name)
+		}
+	}
+}

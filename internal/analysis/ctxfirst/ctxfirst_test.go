@@ -1,0 +1,19 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"wiclean/internal/analysis/analysistest"
+	"wiclean/internal/analysis/ctxfirst"
+)
+
+// TestCtxFirst drives the analyzer over an in-scope fixture package
+// (trailing contexts in functions and interfaces, stored contexts with
+// and without the escape hatch) and an out-of-scope package where it
+// must stay silent.
+func TestCtxFirst(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxfirst.Analyzer,
+		"wiclean/internal/source",
+		"a",
+	)
+}

@@ -1,0 +1,18 @@
+// Fixture: package a is outside internal/source and internal/plugin, so
+// the analyzer must stay silent even on convention violations.
+package a
+
+import "context"
+
+// Trailing would be a finding inside the scoped packages.
+func Trailing(q string, ctx context.Context) error {
+	_ = ctx
+	_ = q
+	return nil
+}
+
+type holder struct {
+	ctx context.Context
+}
+
+func use(h holder) context.Context { return h.ctx }

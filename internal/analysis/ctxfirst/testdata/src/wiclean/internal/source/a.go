@@ -1,0 +1,54 @@
+// Fixture for the ctxfirst analyzer: this package path is in scope, so
+// exported signatures and struct fields are checked.
+package source
+
+import (
+	"context"
+	"time"
+)
+
+// Fetch takes its context first: fine.
+func Fetch(ctx context.Context, q string) error {
+	_ = ctx
+	_ = q
+	return nil
+}
+
+// Trailing takes its context last.
+func Trailing(q string, ctx context.Context) error { // want `Trailing takes context\.Context as parameter 2`
+	_ = ctx
+	_ = q
+	return nil
+}
+
+// lowercase is unexported: the convention binds the exported surface.
+func lowercase(q string, ctx context.Context) {
+	_ = ctx
+	_ = q
+}
+
+// Fetcher's exported interface methods are held to the same rule.
+type Fetcher interface {
+	FetchType(ctx context.Context, q string) error
+	Shifted(q string, ctx context.Context) error // want `Shifted takes context\.Context as parameter 2`
+}
+
+// holder stores a context.
+type holder struct {
+	ctx context.Context // want `struct stores a context\.Context`
+}
+
+// bridge is the sanctioned shape: an annotated stored context.
+type bridge struct {
+	ctx context.Context //wiclean:allow-ctxfirst bridges a context-free interface, canceled with its owner
+}
+
+// sleeper's field is a function type taking a context — not a stored
+// context, so it is fine.
+type sleeper struct {
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+func use(h holder, b bridge, s sleeper) (context.Context, context.Context, func(context.Context, time.Duration) error) {
+	return h.ctx, b.ctx, s.sleep
+}

@@ -1,0 +1,12 @@
+// Fixture: wiclean/internal/assist is NOT on the deterministic list, so
+// the analyzer must stay silent here.
+package assist
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timing() (time.Time, int) {
+	return time.Now(), rand.Int()
+}

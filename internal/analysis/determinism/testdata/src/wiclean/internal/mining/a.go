@@ -1,0 +1,85 @@
+// Fixture for the determinism analyzer: this package path is on the
+// deterministic list, so wall-clock reads, global randomness and
+// unsorted map-iteration output are all findings.
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now in deterministic package`
+	return time.Since(start) // want `time\.Since in deterministic package`
+}
+
+func wallClockAllowed() time.Duration {
+	start := time.Now() //wiclean:allow-nondet timing feeds the obs registry only, never mined output
+	//wiclean:allow-nondet obs-only timing again, directive on the line above
+	return time.Since(start)
+}
+
+func wallClockBareDirective() {
+	_ = time.Now //wiclean:allow-nondet // want `time\.Now in deterministic package` `needs a reason`
+}
+
+func globalRand(n int) int {
+	return rand.Intn(n) // want `global rand\.Intn in deterministic package`
+}
+
+func seededRand(n int) int {
+	r := rand.New(rand.NewSource(42)) // seeded constructors are fine
+	return r.Intn(n)
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appending to out inside a range over a map with no later sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectSortSlice(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func printUnsorted(m map[string]int) {
+	for k := range m { // want `printing inside a range over a map`
+		fmt.Println(k)
+	}
+}
+
+func localScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		scratch := []int{} // per-iteration local: order never escapes
+		scratch = append(scratch, vs...)
+		total += len(scratch)
+	}
+	return total
+}
+
+func sliceRangeIsFine(xs []string) []string {
+	var out []string
+	for _, x := range xs { // slices iterate in order; no finding
+		out = append(out, x)
+	}
+	return out
+}

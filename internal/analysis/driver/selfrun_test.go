@@ -1,0 +1,80 @@
+package driver_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wiclean/internal/analysis/checks"
+	"wiclean/internal/analysis/driver"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSelfRunClean applies every registered analyzer to the whole module
+// — the same sweep CI's lint job performs with cmd/wiclean-lint — and
+// requires zero findings. This is the enforcement teeth: reintroduce a
+// bare time.Now() in internal/mining or an == comparison against
+// ErrExhausted and `go test ./...` fails right here, network or not.
+func TestSelfRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-run loads and type-checks the full module; skipped with -short")
+	}
+	root := moduleRoot(t)
+	pkgs, err := driver.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the ./... pattern is not covering the module", len(pkgs))
+	}
+	diags, err := driver.Run(checks.All(), pkgs)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", driver.Format(pkgs[0].Fset, root, d))
+	}
+	if len(diags) > 0 {
+		t.Logf("%d findings: fix them or annotate with a reasoned //wiclean:allow-* directive", len(diags))
+	}
+}
+
+// TestLoadTargetsOnly checks the loader analyzes only module packages,
+// not the dependency closure go list returns alongside them.
+func TestLoadTargetsOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module; skipped with -short")
+	}
+	root := moduleRoot(t)
+	pkgs, err := driver.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if !strings.HasPrefix(p.ImportPath, "wiclean") {
+			t.Errorf("loaded non-module package %q", p.ImportPath)
+		}
+		if p.Pkg == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("package %q loaded without types or files", p.ImportPath)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package obsnil_test
+
+import (
+	"testing"
+
+	"wiclean/internal/analysis/analysistest"
+	"wiclean/internal/analysis/obsnil"
+)
+
+// TestObsNil drives both halves of the analyzer: the nil-guard rule
+// inside the (stub) obs package path, and the methods-only rule in a
+// consumer package, with the escape-hatch negative case.
+func TestObsNil(t *testing.T) {
+	analysistest.Run(t, "testdata", obsnil.Analyzer,
+		"wiclean/internal/obs",
+		"a",
+	)
+}

@@ -1,0 +1,32 @@
+// Fixture consumer: outside package obs, handles must be used through
+// methods only.
+package a
+
+import "wiclean/internal/obs"
+
+func Names(r *obs.Registry) []string {
+	return r.Names // want `direct field access Names on obs handle`
+}
+
+func CopyRegistry(r *obs.Registry) obs.Registry {
+	return *r // want `dereferencing obs handle \*wiclean/internal/obs\.Registry`
+}
+
+func AllowedCopy(r *obs.Registry) obs.Registry {
+	//wiclean:allow-obsnil test-only deep compare of a registry known non-nil
+	return *r
+}
+
+func MethodsAreFine(r *obs.Registry) int {
+	r.Add("x")
+	return r.Len()
+}
+
+func NilCheckIsFine(r *obs.Registry) bool {
+	return r != nil
+}
+
+func TypeExprIsFine() *obs.Registry {
+	var r *obs.Registry // the *obs.Registry type expression is not a dereference
+	return r
+}

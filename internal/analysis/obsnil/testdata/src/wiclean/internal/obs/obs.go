@@ -1,0 +1,68 @@
+// Stub of the real wiclean/internal/obs handle types. Inside this
+// package path the analyzer enforces the nil-guard rule on exported
+// pointer-receiver methods; the exported field exists so consumer
+// fixtures can type-check direct field access.
+package obs
+
+// Registry mirrors the real registry; Names stands in for its state.
+type Registry struct {
+	Names []string
+}
+
+// Add is a correctly guarded method: nil check before field access.
+func (r *Registry) Add(name string) {
+	if r == nil {
+		return
+	}
+	r.Names = append(r.Names, name)
+}
+
+// First touches receiver state with no guard.
+func (r *Registry) First() string { // want `exported method \*Registry\.First touches receiver fields without a preceding nil-receiver check`
+	return r.Names[0]
+}
+
+// Late guards only after the field access, which is just as broken.
+func (r *Registry) Late() int { // want `exported method \*Registry\.Late touches receiver fields without a preceding nil-receiver check`
+	n := len(r.Names)
+	if r == nil {
+		return 0
+	}
+	return n
+}
+
+// Kind touches no receiver state, so no guard is needed.
+func (r *Registry) Kind() string { return "registry" }
+
+// Len delegates to a nil-safe sibling; method calls need no guard.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Names)
+}
+
+// snapshot is unexported: the contract covers the exported method set.
+func (r *Registry) snapshot() []string { return r.Names }
+
+// Counter mirrors the real counter handle.
+type Counter struct{ n int64 }
+
+// Inc is unguarded field access on a handle type.
+func (c *Counter) Inc() { // want `exported method \*Counter\.Inc touches receiver fields without a preceding nil-receiver check`
+	c.n++
+}
+
+// Value is correctly guarded.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Buckets is not a handle type; its methods are not checked.
+type Buckets struct{ bounds []float64 }
+
+// Width needs no guard: Buckets is outside the nil-safe contract.
+func (b *Buckets) Width() int { return len(b.bounds) }

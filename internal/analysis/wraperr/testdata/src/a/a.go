@@ -1,0 +1,86 @@
+// Fixture consumer of the typed error family: every way to mishandle it,
+// next to the errors.Is/errors.As forms that are fine.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"wiclean/internal/model"
+	"wiclean/internal/source"
+)
+
+func severedWrap(err error) error {
+	return fmt.Errorf("mine failed: %v", err) // want `fmt\.Errorf formats error operand err without %w`
+}
+
+func severedWrapS(err error) error {
+	return fmt.Errorf("mine failed: %s", err) // want `fmt\.Errorf formats error operand err without %w`
+}
+
+func properWrap(err error) error {
+	return fmt.Errorf("mine failed: %w", err)
+}
+
+func stringArgIsFine(name string) error {
+	return fmt.Errorf("unknown type %q", name)
+}
+
+func allowedUnwrapped(err error) error {
+	//wiclean:allow-wraperr boundary log line, chain intentionally cut
+	return fmt.Errorf("terminal: %v", err)
+}
+
+func directSentinel(err error) bool {
+	return err == source.ErrExhausted // want `direct == comparison against source\.ErrExhausted`
+}
+
+func directSentinelNeq(err error) bool {
+	return err != source.ErrExhausted // want `direct != comparison against source\.ErrExhausted`
+}
+
+func isSentinel(err error) bool {
+	return errors.Is(err, source.ErrExhausted)
+}
+
+func directTyped(a, b *source.FetchError) bool {
+	return a == b // want `direct == comparison against \*source\.FetchError`
+}
+
+func nilCheckIsFine(fe *source.FetchError) bool {
+	return fe == nil
+}
+
+func directAssert(err error) string {
+	if fe, ok := err.(*source.FetchError); ok { // want `type assertion on \*source\.FetchError`
+		return fe.Type
+	}
+	return ""
+}
+
+func asTyped(err error) string {
+	var fe *source.FetchError
+	if errors.As(err, &fe) {
+		return fe.Type
+	}
+	return ""
+}
+
+func switchTyped(err error) string {
+	switch e := err.(type) {
+	case *model.StaleError: // want `type switch case on \*model\.StaleError`
+		return e.Why
+	default:
+		return ""
+	}
+}
+
+func switchUnrelated(err error) string {
+	type local struct{ error }
+	switch err.(type) {
+	case local:
+		return "local"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,8 @@
+// Stub of the real wiclean/internal/model StaleError; see the source
+// stub for why fixtures re-declare these paths.
+package model
+
+// StaleError mirrors the real provenance-mismatch error.
+type StaleError struct{ Why string }
+
+func (e *StaleError) Error() string { return "model: stale: " + e.Why }

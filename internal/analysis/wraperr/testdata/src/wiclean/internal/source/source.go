@@ -1,0 +1,14 @@
+// Stub of the real wiclean/internal/source error family: the analyzer
+// matches by (package path, name), so the fixture tree declares the same
+// path with just enough surface to type-check consumers.
+package source
+
+import "errors"
+
+// ErrExhausted mirrors the real retry-budget sentinel.
+var ErrExhausted = errors.New("source: retry budget exhausted")
+
+// FetchError mirrors the real typed fetch failure.
+type FetchError struct{ Type string }
+
+func (e *FetchError) Error() string { return "source: fetching " + e.Type }

@@ -1,0 +1,16 @@
+package wraperr_test
+
+import (
+	"testing"
+
+	"wiclean/internal/analysis/analysistest"
+	"wiclean/internal/analysis/wraperr"
+)
+
+// TestWrapErr drives the analyzer over a consumer of stub
+// source/model error packages: severed %v wraps, direct ==/!= sentinel
+// comparisons, direct assertions and type-switch cases all fire; %w,
+// errors.Is/As, nil checks and the escape hatch stay silent.
+func TestWrapErr(t *testing.T) {
+	analysistest.Run(t, "testdata", wraperr.Analyzer, "a")
+}

@@ -82,7 +82,7 @@ func Mine(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w acti
 	m.obs.Counter(obs.MiningRuns).Inc()
 	span := m.obs.Span("mining.mine")
 
-	pre := time.Now()
+	pre := time.Now() //wiclean:allow-nondet Stats.Preprocessing wall time; never read by the mining output
 	preSpan := span.Child("preprocess")
 	if cfg.Incremental {
 		// Line 1: extract, reduce and abstract the seed entities' actions.
@@ -93,12 +93,12 @@ func Mine(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w acti
 		m.extractAll()
 	}
 	preSpan.End()
-	m.stats.Preprocessing = time.Since(pre)
+	m.stats.Preprocessing = time.Since(pre) //wiclean:allow-nondet Stats timing only; never read by the mining output
 	if err := fetchFailure(store); err != nil {
 		return nil, err
 	}
 
-	mine := time.Now()
+	mine := time.Now() //wiclean:allow-nondet Stats.Mining wall time; never read by the mining output
 	growSpan := span.Child("grow")
 	m.seedSingletons()
 	err := m.grow()
@@ -106,7 +106,7 @@ func Mine(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w acti
 	if err != nil {
 		return nil, err
 	}
-	m.stats.Mining = time.Since(mine)
+	m.stats.Mining = time.Since(mine) //wiclean:allow-nondet Stats timing only; never read by the mining output
 
 	m.obs.Histogram(obs.MiningSeconds, obs.DurationBuckets).ObserveDuration(span.End())
 	return m.result(), nil

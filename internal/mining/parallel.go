@@ -70,12 +70,13 @@ func (m *miner) newEngine() relational.Engine {
 // only on the pattern and template.
 func (m *miner) runJob(eng *relational.Engine, job extendJob) jobResult {
 	before := eng.Stats
-	start := time.Now()
+	start := time.Now() //wiclean:allow-nondet job busy time feeds utilization metrics and LPT modeling only
 	var cands []candidate
 	for _, ext := range job.sp.Pattern.Extensions(job.tmpl) {
 		tbl := m.extendWith(eng, job.sp, job.tmpl, ext)
 		cands = append(cands, candidate{pat: ext.Pattern, tbl: tbl})
 	}
+	//wiclean:allow-nondet dur feeds utilization metrics and LPT modeling; admission order is job order
 	return jobResult{cands: cands, stats: eng.Stats.Minus(before), dur: time.Since(start)}
 }
 
@@ -89,7 +90,7 @@ func (m *miner) runExtendJobs(jobs []extendJob) []jobResult {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	start := time.Now()
+	start := time.Now() //wiclean:allow-nondet batch wall time feeds the obs histograms below only
 	var busy time.Duration
 	if workers <= 1 {
 		for i := range jobs {
@@ -120,6 +121,7 @@ func (m *miner) runExtendJobs(jobs []extendJob) []jobResult {
 			busy += time.Duration(ns)
 		}
 	}
+	//wiclean:allow-nondet utilization metrics only; results were merged in job order above
 	if wall := time.Since(start); wall > 0 && len(jobs) > 0 {
 		m.obs.Counter(obs.MiningExtendBatches).Inc()
 		m.obs.Histogram(obs.MiningExtendBatchSeconds, obs.DurationBuckets).ObserveDuration(wall)

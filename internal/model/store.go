@@ -41,7 +41,7 @@ func writeFileAtomic(path string, data []byte) error {
 // Save atomically writes the model to path, reporting size and duration
 // into reg (nil-safe).
 func Save(path string, f *File, reg *obs.Registry) error {
-	start := time.Now()
+	start := time.Now() //wiclean:allow-nondet obs save-latency histogram only; the encoding is deterministic
 	var buf bytes.Buffer
 	if err := Write(&buf, f); err != nil {
 		return err
@@ -52,6 +52,7 @@ func Save(path string, f *File, reg *obs.Registry) error {
 	reg.Counter(obs.ModelSaves).Inc()
 	reg.Counter(obs.ModelSaveBytes).Add(int64(buf.Len()))
 	reg.Gauge(obs.ModelPatterns).Set(float64(len(f.Patterns)))
+	//wiclean:allow-nondet obs save-latency histogram only
 	reg.Histogram(obs.ModelSaveSeconds, obs.DurationBuckets).ObserveDuration(time.Since(start))
 	return nil
 }
@@ -59,7 +60,7 @@ func Save(path string, f *File, reg *obs.Registry) error {
 // Load reads and validates the model at path, reporting size and duration
 // into reg (nil-safe).
 func Load(path string, reg *obs.Registry) (*File, error) {
-	start := time.Now()
+	start := time.Now() //wiclean:allow-nondet obs load-latency histogram only; the loaded model is what the file says
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("model: loading %s: %w", path, err)
@@ -71,6 +72,7 @@ func Load(path string, reg *obs.Registry) (*File, error) {
 	reg.Counter(obs.ModelLoads).Inc()
 	reg.Counter(obs.ModelLoadBytes).Add(int64(len(data)))
 	reg.Gauge(obs.ModelPatterns).Set(float64(len(f.Patterns)))
+	//wiclean:allow-nondet obs load-latency histogram only
 	reg.Histogram(obs.ModelLoadSeconds, obs.DurationBuckets).ObserveDuration(time.Since(start))
 	return f, nil
 }
@@ -107,7 +109,7 @@ func NewCheckpointer(path string, prov Provenance, reg *obs.Registry) *FileCheck
 
 // Save atomically persists the state.
 func (c *FileCheckpointer) Save(st *windows.CheckpointState) error {
-	start := time.Now()
+	start := time.Now() //wiclean:allow-nondet obs checkpoint-latency histogram only; the envelope is deterministic
 	env := checkpointFile{Format: CheckpointFormat, Version: Version, Provenance: c.prov, State: st}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
@@ -120,6 +122,7 @@ func (c *FileCheckpointer) Save(st *windows.CheckpointState) error {
 	}
 	c.obs.Counter(obs.CheckpointSaves).Inc()
 	c.obs.Counter(obs.CheckpointBytes).Add(int64(buf.Len()))
+	//wiclean:allow-nondet obs checkpoint-latency histogram only
 	c.obs.Histogram(obs.CheckpointSeconds, obs.DurationBuckets).ObserveDuration(time.Since(start))
 	return nil
 }

@@ -244,7 +244,7 @@ func (e *Engine) Join(l, r *Table, spec JoinSpec) *Table {
 	}
 	var start time.Time
 	if e.Obs != nil {
-		start = time.Now()
+		start = time.Now() //wiclean:allow-nondet per-strategy join-latency histogram only; rows are unaffected
 	}
 	var out *Table
 	switch strat {
@@ -256,8 +256,9 @@ func (e *Engine) Join(l, r *Table, spec JoinSpec) *Table {
 		out = e.hashJoin(l, r, spec)
 	}
 	if e.Obs != nil {
+		dur := time.Since(start) //wiclean:allow-nondet per-strategy join-latency histogram only
 		e.Obs.Histogram(obs.Labeled(obs.RelationalJoinSeconds, "strategy", strat.String()), obs.DurationBuckets).
-			ObserveDuration(time.Since(start))
+			ObserveDuration(dur)
 	}
 	e.Stats.RowsOut += int64(out.Len())
 	return out

@@ -24,6 +24,7 @@ import (
 // partially built graph.
 type Store struct {
 	src HistorySource
+	//wiclean:allow-ctxfirst bridges the context-free mining.Store interface; NewStore documents the cancellation scope
 	ctx context.Context
 
 	mu  sync.Mutex

@@ -35,7 +35,7 @@ func RunContext(ctx context.Context, store mining.Store, seeds []taxonomy.Entity
 	if err := cfg.Mining.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now()      //wiclean:allow-nondet Outcome.Elapsed wall time; refinement decisions never read it
 	cfg.Mining.Obs = cfg.Obs // forward the registry to every window miner
 	if cfg.JoinWorkers != 0 {
 		cfg.Mining.JoinWorkers = cfg.JoinWorkers
@@ -204,7 +204,7 @@ func RunContext(ctx context.Context, store mining.Store, seeds []taxonomy.Entity
 			return nil, fmt.Errorf("windows: clearing checkpoint: %w", err)
 		}
 	}
-	out.Elapsed = time.Since(start)
+	out.Elapsed = time.Since(start) //wiclean:allow-nondet Outcome.Elapsed reporting only
 	return out, nil
 }
 
