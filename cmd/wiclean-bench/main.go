@@ -15,11 +15,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
 	"wiclean/internal/experiments"
+	"wiclean/internal/logx"
 	"wiclean/internal/obs"
 )
 
@@ -71,6 +72,12 @@ func main() {
 	out := flag.String("out", "", "write a JSON report (phases + metrics) to this file")
 	flag.Parse()
 
+	lg := logx.New(os.Stderr, slog.LevelInfo)
+	fatal := func(msg string, err error) {
+		lg.Error(msg, slog.Any("error", err))
+		os.Exit(1)
+	}
+
 	metrics := obs.NewRegistry()
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
@@ -103,7 +110,7 @@ func main() {
 		ran = true
 		start := time.Now()
 		if err := f(); err != nil {
-			log.Fatalf("wiclean-bench: %s: %v", name, err)
+			fatal("experiment "+name, err)
 		}
 		report.Phases = append(report.Phases, PhaseReport{
 			Name:    name,
@@ -212,18 +219,20 @@ func main() {
 		report.Metrics = metrics.Snapshot()
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatalf("wiclean-bench: %v", err)
+			fatal("creating report", err)
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
-			log.Fatalf("wiclean-bench: writing report: %v", err)
+			fatal("writing report", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatalf("wiclean-bench: closing report: %v", err)
+			fatal("closing report", err)
 		}
-		log.Printf("wiclean-bench: wrote %s (%d phases, %d counters)",
-			*out, len(report.Phases), len(report.Metrics.Counters))
+		lg.Info("report written",
+			slog.String("path", *out),
+			slog.Int("phases", len(report.Phases)),
+			slog.Int("counters", len(report.Metrics.Counters)))
 	}
 }
 

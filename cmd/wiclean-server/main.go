@@ -10,10 +10,12 @@
 //	wiclean-server -data data/ -save-model model.json # persist after mining
 //	wiclean-server -data data/ -checkpoint mine.ckpt  # resumable mining
 //	wiclean-server -debug   # adds /debug/vars and /debug/pprof/
+//	wiclean-server -trace-out traces.jsonl -trace-sample 0.1
 //
 // Endpoints:
 //
 //	GET  /healthz     liveness + pattern count + uptime
+//	GET  /readyz      readiness: 503 while mining, 200 once serving
 //	GET  /version     build info (module, version, Go) + uptime
 //	GET  /metrics     Prometheus text exposition of the pipeline metrics
 //	GET  /patterns    mined patterns with windows, frequencies and DOT graphs
@@ -24,11 +26,20 @@
 //	                   "object": "...", "at": 123456}
 //	GET  /history     the revision store in JSONL dump format — point
 //	                  another instance's "-source http" here
+//	GET  /debug/traces ring of recently exported traces (see -trace-sample)
 //	GET  /debug/vars  expvar JSON incl. the metrics snapshot (-debug only)
 //	GET  /debug/pprof/ CPU/heap/goroutine profiles (-debug only)
 //
-// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to -drain seconds.
+// The listener binds before mining starts: /healthz answers immediately
+// while /readyz and the API answer 503 until the model is mined or
+// warm-started. Every request runs under a request-scoped trace that
+// joins an inbound W3C traceparent (so a chained "-source http" mine
+// yields one stitched cross-process trace); -trace-out appends each
+// exported trace as one JSON line for offline analysis with
+// wiclean-trace. Logs are structured JSON (log/slog) on stderr, each
+// record carrying the trace/span IDs of its request. The server shuts
+// down gracefully on SIGINT/SIGTERM, draining in-flight requests for up
+// to -drain seconds.
 package main
 
 import (
@@ -37,7 +48,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,9 +60,11 @@ import (
 	"wiclean/internal/action"
 	"wiclean/internal/core"
 	"wiclean/internal/dump"
+	"wiclean/internal/logx"
 	"wiclean/internal/mining"
 	"wiclean/internal/model"
 	"wiclean/internal/obs"
+	"wiclean/internal/obs/trace"
 	"wiclean/internal/plugin"
 	"wiclean/internal/source"
 	"wiclean/internal/synth"
@@ -73,7 +86,7 @@ type world struct {
 // store the server mines and serves. It mirrors the wiclean CLI's loader:
 // registry and seeds come from the data directory (or the synthetic
 // generator), actions from the selected source.
-func loadWorld(data, domain string, seeds int, seed uint64, opts source.Options, metrics *obs.Registry) (*world, error) {
+func loadWorld(data, domain string, seeds int, seed uint64, opts source.Options, metrics *obs.Registry, lg *slog.Logger) (*world, error) {
 	w := &world{}
 	var mem *dump.History
 	kind := opts.Kind
@@ -130,7 +143,7 @@ func loadWorld(data, domain string, seeds int, seed uint64, opts source.Options,
 			}
 			mem = dump.NewHistory(w.reg)
 			if skipped := mem.IngestRecords(recs); skipped > 0 {
-				log.Printf("wiclean-server: skipped %d action records referencing unknown entities", skipped)
+				lg.Warn("skipped action records referencing unknown entities", slog.Int("count", skipped))
 			}
 			w.span = mem.Span()
 		case source.KindDump:
@@ -211,28 +224,67 @@ func main() {
 	saveModel := flag.String("save-model", "", "after mining, save the model to this file")
 	checkpoint := flag.String("checkpoint", "", "persist refinement state here; a restarted server resumes mining from it")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint every Nth refinement iteration (0 = every)")
+	traceOut := flag.String("trace-out", "", "append exported traces to this JSONL file (analyze with wiclean-trace)")
+	traceSample := flag.Float64("trace-sample", 1.0, "head-sampling keep fraction in [0,1]; errored and slow traces always export")
+	traceSlow := flag.Duration("trace-slow", time.Second, "always export traces at least this slow (0 disables the slow rule)")
 	opts := source.DefaultOptions()
 	opts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	metrics := obs.NewRegistry()
-	w, err := loadWorld(*data, *domain, *seeds, *seed, opts, metrics)
-	if err != nil {
-		log.Fatalf("wiclean-server: %v", err)
+	lg := logx.New(os.Stderr, slog.LevelInfo)
+	fatal := func(msg string, err error) {
+		lg.Error(msg, slog.Any("error", err))
+		os.Exit(1)
 	}
+
+	metrics := obs.NewRegistry()
+	w, err := loadWorld(*data, *domain, *seeds, *seed, opts, metrics, lg)
+	if err != nil {
+		fatal("loading world", err)
+	}
+	var traceSink *os.File
+	if *traceOut != "" {
+		if traceSink, err = os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+			fatal("opening -trace-out", err)
+		}
+	}
+	tracer := trace.New(trace.Config{
+		Service:       "wiclean-server",
+		Registry:      metrics,
+		SampleRate:    *traceSample,
+		SlowThreshold: *traceSlow,
+		Output:        traceSink,
+	})
 	cfg := windows.Defaults()
 	cfg.Mining = mining.PM(cfg.InitialTau)
 	cfg.Mining.MaxAbstraction = *levels
 	cfg.Workers = *workers
 	cfg.JoinWorkers = *joinWorkers
 
-	sys := core.New(w.store, cfg).WithObs(metrics)
+	sys := core.New(w.store, cfg).WithObs(metrics).WithTracer(tracer)
+
+	// Bind the port before mining: /healthz is alive from the first
+	// moment, /readyz and the API answer 503 until the gate flips.
+	gate := plugin.NewGate()
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           gate,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// Generous write timeout: /debug/pprof/profile streams for 30s by
+		// default and /errors can be large on big worlds.
+		WriteTimeout: 120 * time.Second,
+		IdleTimeout:  120 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	lg.Info("listening, warming up", slog.String("addr", *addr))
 
 	start := time.Now()
 	var prov model.Provenance
 	if *modelPath != "" || *saveModel != "" || *checkpoint != "" {
 		if prov, err = model.Fingerprint(w.reg, w.span, sys.Config()); err != nil {
-			log.Fatalf("wiclean-server: %v", err)
+			fatal("fingerprinting", err)
 		}
 	}
 	how := "mined"
@@ -242,10 +294,10 @@ func main() {
 		// settings instead of silently serving stale patterns.
 		f, err := model.Load(*modelPath, metrics)
 		if err != nil {
-			log.Fatalf("wiclean-server: %v", err)
+			fatal("loading model", err)
 		}
 		if err := f.Verify(prov); err != nil {
-			log.Fatalf("wiclean-server: %v", err)
+			fatal("verifying model", err)
 		}
 		sys.UseOutcome(f.Outcome())
 		how = "loaded from " + *modelPath
@@ -254,58 +306,55 @@ func main() {
 			sys.WithCheckpoint(model.NewCheckpointer(*checkpoint, prov, metrics), *checkpointEvery)
 		}
 		if _, err := sys.Mine(w.seeds, w.seedType, w.span); err != nil {
-			log.Fatalf("wiclean-server: mining: %v", err)
+			fatal("mining", err)
 		}
 		if *saveModel != "" {
 			if err := model.Save(*saveModel, model.Snapshot(sys.Outcome(), w.reg, prov), metrics); err != nil {
-				log.Fatalf("wiclean-server: %v", err)
+				fatal("saving model", err)
 			}
-			log.Printf("wiclean-server: model saved to %s", *saveModel)
+			lg.Info("model saved", slog.String("path", *saveModel))
 		}
 	}
 	srv, err := plugin.NewServer(sys, *workers)
 	if err != nil {
-		log.Fatalf("wiclean-server: %v", err)
+		fatal("building server", err)
 	}
+	srv.WithTracer(tracer).WithLogger(lg, *traceSlow)
 	if *debug {
 		srv.EnableDebug()
 	}
-	log.Printf("wiclean-server: %d patterns %s over %s in %v; listening on %s (debug=%v)",
-		len(sys.Outcome().Discovered), how, *domain, time.Since(start).Round(time.Millisecond), *addr, *debug)
-
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		// Generous write timeout: /debug/pprof/profile streams for 30s by
-		// default and /errors can be large on big worlds.
-		WriteTimeout: 120 * time.Second,
-		IdleTimeout:  120 * time.Second,
-	}
+	gate.SetReady(srv.Handler())
+	lg.Info("ready",
+		slog.Int("patterns", len(sys.Outcome().Discovered)),
+		slog.String("how", how),
+		slog.String("domain", *domain),
+		slog.Duration("startup", time.Since(start).Round(time.Millisecond)),
+		slog.String("addr", *addr),
+		slog.Bool("debug", *debug),
+	)
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-
 	select {
 	case err := <-errCh:
-		log.Fatalf("wiclean-server: %v", err)
+		fatal("serving", err)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("wiclean-server: shutting down, draining for up to %v", *drain)
+	lg.Info("shutting down", slog.Duration("drain", *drain))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("wiclean-server: forced shutdown: %v", err)
+		lg.Warn("forced shutdown", slog.Any("error", err))
 		_ = httpSrv.Close()
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("wiclean-server: %v", err)
+		lg.Error("listener failed", slog.Any("error", err))
 	}
-	log.Printf("wiclean-server: bye")
+	if traceSink != nil {
+		_ = traceSink.Close()
+	}
+	lg.Info("bye")
 }

@@ -1,0 +1,323 @@
+// Command wiclean-trace analyzes the JSONL trace exports written by
+// wiclean-server/wiclean mine (-trace-out) or downloaded from
+// GET /debug/traces. It answers "where did this slow mine spend its
+// time" offline: a slowest-N table across all traces, a flame-style span
+// tree per trace, and each trace's critical path (the chain of
+// longest-child spans from the root down).
+//
+//	wiclean-trace traces.jsonl                 # slowest-10 table
+//	wiclean-trace -top 3 -tree traces.jsonl    # + span trees
+//	wiclean-trace -trace <id> a.jsonl b.jsonl  # one trace, fully
+//
+// Multiple input files are merged by trace ID: a chained mine (server A
+// fetching /history from server B) exports the two halves of one trace
+// into two files, and the merge stitches them back into a single
+// cross-process tree via the propagated W3C traceparent parentage.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"wiclean/internal/obs/trace"
+)
+
+// mergedTrace is one trace ID's spans, possibly collected from several
+// exports (one per process).
+type mergedTrace struct {
+	id       string
+	services []string
+	reasons  []string
+	spans    []trace.SpanExport
+}
+
+// root returns the trace's top span: the one whose parent is absent from
+// the merged span set (the remote parent of a stitched export lives in
+// the other process's half; after a full merge only the true root
+// qualifies). Ties — which only malformed exports produce — resolve to
+// the earliest-starting candidate for determinism.
+func (m *mergedTrace) root() (trace.SpanExport, bool) {
+	ids := make(map[string]bool, len(m.spans))
+	for _, s := range m.spans {
+		ids[s.SpanID] = true
+	}
+	var best trace.SpanExport
+	found := false
+	for _, s := range m.spans {
+		if s.Parent != "" && ids[s.Parent] {
+			continue
+		}
+		if !found || s.Start < best.Start {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+// duration is the trace's wall span: first start to last end.
+func (m *mergedTrace) duration() time.Duration {
+	if len(m.spans) == 0 {
+		return 0
+	}
+	first, last := m.spans[0].Start, m.spans[0].Start+m.spans[0].Elapsed
+	for _, s := range m.spans[1:] {
+		if s.Start < first {
+			first = s.Start
+		}
+		if end := s.Start + s.Elapsed; end > last {
+			last = end
+		}
+	}
+	return time.Duration(last - first)
+}
+
+// errored reports whether any span failed.
+func (m *mergedTrace) errored() bool {
+	for _, s := range m.spans {
+		if s.Error != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// readFiles parses every JSONL export line of every file and merges
+// them by trace ID, spans sorted by (start, span ID).
+func readFiles(paths []string) (map[string]*mergedTrace, error) {
+	merged := map[string]*mergedTrace{}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
+			}
+			var exp trace.TraceExport
+			if err := json.Unmarshal([]byte(text), &exp); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			m := merged[exp.TraceID]
+			if m == nil {
+				m = &mergedTrace{id: exp.TraceID}
+				merged[exp.TraceID] = m
+			}
+			if exp.Service != "" {
+				m.services = append(m.services, exp.Service)
+			}
+			if exp.Reason != "" {
+				m.reasons = append(m.reasons, exp.Reason)
+			}
+			m.spans = append(m.spans, exp.Spans...)
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	for _, m := range merged {
+		sort.Slice(m.spans, func(i, j int) bool {
+			if m.spans[i].Start != m.spans[j].Start {
+				return m.spans[i].Start < m.spans[j].Start
+			}
+			return m.spans[i].SpanID < m.spans[j].SpanID
+		})
+		sort.Strings(m.services)
+		m.services = dedupSorted(m.services)
+		sort.Strings(m.reasons)
+		m.reasons = dedupSorted(m.reasons)
+	}
+	return merged, nil
+}
+
+// dedupSorted collapses equal neighbors of a sorted slice.
+func dedupSorted(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// childrenOf indexes the spans by parent span ID, children kept in the
+// merged (start, span ID) order.
+func childrenOf(spans []trace.SpanExport) map[string][]trace.SpanExport {
+	byParent := map[string][]trace.SpanExport{}
+	for _, s := range spans {
+		byParent[s.Parent] = append(byParent[s.Parent], s)
+	}
+	return byParent
+}
+
+// fmtDur renders a duration compactly for the tables.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// fmtAttrs renders span attributes deterministically (sorted keys).
+func fmtAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + attrs[k]
+	}
+	return " {" + strings.Join(parts, " ") + "}"
+}
+
+// printTree renders the flame-style tree of one trace: every span
+// indented under its parent, with duration, share of the root, and
+// attributes.
+func printTree(m *mergedTrace) {
+	root, ok := m.root()
+	if !ok {
+		fmt.Printf("  (no spans)\n")
+		return
+	}
+	byParent := childrenOf(m.spans)
+	rootDur := time.Duration(root.Elapsed)
+	var walk func(s trace.SpanExport, depth int)
+	walk = func(s trace.SpanExport, depth int) {
+		share := ""
+		if rootDur > 0 {
+			share = fmt.Sprintf(" %5.1f%%", 100*float64(s.Elapsed)/float64(rootDur))
+		}
+		status := ""
+		if s.Error != "" {
+			status = " ERROR: " + s.Error
+		}
+		fmt.Printf("  %s%-*s %10s%s%s%s\n",
+			strings.Repeat("· ", depth), 36-2*depth, s.Name,
+			fmtDur(time.Duration(s.Elapsed)), share, fmtAttrs(s.Attrs), status)
+		for _, c := range byParent[s.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+}
+
+// printCriticalPath walks from the root into the longest child at every
+// level — the chain an optimization effort should attack first.
+func printCriticalPath(m *mergedTrace) {
+	root, ok := m.root()
+	if !ok {
+		return
+	}
+	byParent := childrenOf(m.spans)
+	fmt.Printf("  critical path:\n")
+	cur, rootDur := root, time.Duration(root.Elapsed)
+	for {
+		share := ""
+		if rootDur > 0 {
+			share = fmt.Sprintf(" (%.1f%% of root)", 100*float64(cur.Elapsed)/float64(rootDur))
+		}
+		fmt.Printf("    %s %s%s%s\n", cur.Name, fmtDur(time.Duration(cur.Elapsed)), share, fmtAttrs(cur.Attrs))
+		kids := byParent[cur.SpanID]
+		if len(kids) == 0 {
+			return
+		}
+		longest := kids[0]
+		for _, c := range kids[1:] {
+			if c.Elapsed > longest.Elapsed ||
+				(c.Elapsed == longest.Elapsed && c.SpanID < longest.SpanID) {
+				longest = c
+			}
+		}
+		cur = longest
+	}
+}
+
+func main() {
+	top := flag.Int("top", 10, "show the N slowest traces")
+	traceID := flag.String("trace", "", "show only this trace ID (full detail)")
+	showTree := flag.Bool("tree", false, "print the span tree of each shown trace")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: wiclean-trace [-top N] [-trace ID] [-tree] file.jsonl ...")
+		os.Exit(2)
+	}
+	merged, err := readFiles(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wiclean-trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	traces := make([]*mergedTrace, 0, len(merged))
+	for _, m := range merged {
+		if *traceID != "" && m.id != *traceID {
+			continue
+		}
+		traces = append(traces, m)
+	}
+	if *traceID != "" && len(traces) == 0 {
+		fmt.Fprintf(os.Stderr, "wiclean-trace: trace %s not found\n", *traceID)
+		os.Exit(1)
+	}
+	sort.Slice(traces, func(i, j int) bool {
+		di, dj := traces[i].duration(), traces[j].duration()
+		if di != dj {
+			return di > dj
+		}
+		return traces[i].id < traces[j].id
+	})
+	shown := traces
+	if *traceID == "" && *top > 0 && len(shown) > *top {
+		shown = shown[:*top]
+	}
+
+	fmt.Printf("%d traces (%d shown), slowest first:\n\n", len(traces), len(shown))
+	fmt.Printf("%-32s  %10s  %6s  %-24s  %-10s  %s\n",
+		"TRACE", "DURATION", "SPANS", "ROOT", "REASON", "SERVICES")
+	for _, m := range shown {
+		rootName := "?"
+		if root, ok := m.root(); ok {
+			rootName = root.Name
+		}
+		reason := strings.Join(m.reasons, ",")
+		if m.errored() && !strings.Contains(reason, trace.ReasonError) {
+			reason = strings.TrimPrefix(reason+","+trace.ReasonError, ",")
+		}
+		fmt.Printf("%-32s  %10s  %6d  %-24s  %-10s  %s\n",
+			m.id, fmtDur(m.duration()), len(m.spans), rootName,
+			reason, strings.Join(m.services, ","))
+	}
+	detail := *traceID != "" || *showTree
+	if detail {
+		for _, m := range shown {
+			fmt.Printf("\ntrace %s (%s, %d spans):\n", m.id, fmtDur(m.duration()), len(m.spans))
+			if *showTree || *traceID != "" {
+				printTree(m)
+			}
+			printCriticalPath(m)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"wiclean/internal/dump"
 	"wiclean/internal/mining"
 	"wiclean/internal/model"
+	"wiclean/internal/obs/trace"
 	"wiclean/internal/source"
 	"wiclean/internal/synth"
 	"wiclean/internal/taxonomy"
@@ -358,12 +359,28 @@ func cmdMine(args []string) error {
 	loadModel := fs.String("load-model", "", "serve a previously saved model instead of mining (provenance-checked)")
 	checkpoint := fs.String("checkpoint", "", "persist refinement state to this file; an interrupted run resumes from it")
 	checkpointEvery := fs.Int("checkpoint-every", 0, "checkpoint every Nth refinement iteration (0 = every)")
+	traceOut := fs.String("trace-out", "", "append per-window trace exports to this JSONL file (analyze with wiclean-trace)")
+	traceSample := fs.Float64("trace-sample", 1.0, "head-sampling keep fraction in [0,1]; errored and slow traces always export")
+	traceSlow := fs.Duration("trace-slow", time.Second, "always export traces at least this slow (0 disables the slow rule)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	sys, lw, err := makeSystem(&wf)
 	if err != nil {
 		return err
+	}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sys.WithTracer(trace.New(trace.Config{
+			Service:       "wiclean-mine",
+			SampleRate:    *traceSample,
+			SlowThreshold: *traceSlow,
+			Output:        f,
+		}))
 	}
 	// The provenance fingerprint guards every model artifact: a saved model
 	// records it, a loaded model and a resumed checkpoint must match it.

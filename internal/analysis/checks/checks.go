@@ -9,6 +9,7 @@ import (
 	"wiclean/internal/analysis/ctxfirst"
 	"wiclean/internal/analysis/determinism"
 	"wiclean/internal/analysis/obsnil"
+	"wiclean/internal/analysis/tracectx"
 	"wiclean/internal/analysis/wraperr"
 )
 
@@ -20,5 +21,6 @@ func All() []*analysis.Analyzer {
 		wraperr.Analyzer,
 		obsnil.Analyzer,
 		ctxfirst.Analyzer,
+		tracectx.Analyzer,
 	}
 }

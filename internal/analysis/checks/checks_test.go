@@ -12,6 +12,7 @@ func TestRegisteredAnalyzers(t *testing.T) {
 		"wraperr":     "wraperr",
 		"obsnil":      "obsnil",
 		"ctxfirst":    "ctxfirst",
+		"tracectx":    "tracectx",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -1,0 +1,77 @@
+// Fixture for the tracectx analyzer: consumers of the trace package
+// must propagate the context a span constructor returns.
+package a
+
+import (
+	"context"
+
+	"wiclean/internal/obs/trace"
+)
+
+// Propagated rebinds ctx: fine.
+func Propagated(ctx context.Context) {
+	ctx, sp := trace.StartSpan(ctx, "work")
+	defer sp.End()
+	use(ctx)
+}
+
+// Shadowed binds a fresh context variable: fine.
+func Shadowed(ctx context.Context) {
+	cctx, sp := trace.StartSpan(ctx, "work")
+	defer sp.End()
+	use(cctx)
+}
+
+// Blank throws the derived context away.
+func Blank(ctx context.Context) {
+	_, sp := trace.StartSpan(ctx, "work") // want `context returned by trace\.StartSpan is assigned to _`
+	defer sp.End()
+	use(ctx)
+}
+
+// BlankVar does the same through a var declaration.
+func BlankVar(ctx context.Context) {
+	var _, sp = trace.StartSpan(ctx, "work") // want `context returned by trace\.StartSpan is assigned to _`
+	defer sp.End()
+	use(ctx)
+}
+
+// Dropped discards both results outright.
+func Dropped(ctx context.Context) {
+	trace.StartSpan(ctx, "work") // want `context returned by trace\.StartSpan is discarded`
+	use(ctx)
+}
+
+// Root holds tracer methods to the same rule.
+func Root(t *trace.Tracer, ctx context.Context) {
+	_, sp := t.StartRoot(ctx, "window") // want `context returned by trace\.StartRoot is assigned to _`
+	defer sp.End()
+	_, sp2 := t.StartRemote(ctx, "request", "00-…-01") // want `context returned by trace\.StartRemote is assigned to _`
+	defer sp2.End()
+	use(ctx)
+}
+
+// Leaf is the sanctioned shape: a reasoned escape on a genuine leaf
+// span whose subtree runs on queue-fed workers, not a child context.
+func Leaf(ctx context.Context) {
+	//wiclean:allow-tracectx leaf batch span; workers take jobs from a queue, not a child context
+	_, sp := trace.StartSpan(ctx, "batch")
+	defer sp.End()
+	use(ctx)
+}
+
+// Bare directives do not exempt; the directive itself is the finding.
+func Bare(ctx context.Context) {
+	//wiclean:allow-tracectx // want `needs a reason explaining why the exemption is sound`
+	_, sp := trace.StartSpan(ctx, "batch") // want `context returned by trace\.StartSpan is assigned to _`
+	defer sp.End()
+	use(ctx)
+}
+
+// Unrelated two-value calls with a blank first result stay silent.
+func Unrelated(m map[string]int) {
+	_, ok := m["k"]
+	_ = ok
+}
+
+func use(ctx context.Context) { _ = ctx }

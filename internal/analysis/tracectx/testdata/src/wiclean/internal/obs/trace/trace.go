@@ -1,0 +1,40 @@
+// Stub of wiclean/internal/obs/trace for the tracectx fixture tree:
+// just enough surface for the consumer fixture to call the span
+// constructors. The analyzer itself must stay silent here — the real
+// implementation builds spans without rewrapping its own context.
+package trace
+
+import "context"
+
+// Span is a stub span.
+type Span struct{}
+
+// End stubs span completion.
+func (s *Span) End() {}
+
+// Tracer is a stub tracer.
+type Tracer struct{}
+
+// StartRoot stubs a new-trace root span.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	_ = name
+	return ctx, &Span{}
+}
+
+// StartRemote stubs a remote-parented root span.
+func (t *Tracer) StartRemote(ctx context.Context, name, traceparent string) (context.Context, *Span) {
+	_, _ = name, traceparent
+	return ctx, &Span{}
+}
+
+// StartSpan stubs a child span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	_ = name
+	return ctx, &Span{}
+}
+
+// internal exercises in-package constructor use, which is exempt.
+func internal(ctx context.Context) *Span {
+	_, sp := StartSpan(ctx, "inner")
+	return sp
+}

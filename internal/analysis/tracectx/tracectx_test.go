@@ -1,0 +1,18 @@
+package tracectx_test
+
+import (
+	"testing"
+
+	"wiclean/internal/analysis/analysistest"
+	"wiclean/internal/analysis/tracectx"
+)
+
+// TestTraceCtx drives the analyzer over a consumer fixture (blank and
+// discarded contexts, the escape hatch, tracer methods) and the trace
+// package stub itself, where in-package constructor use is exempt.
+func TestTraceCtx(t *testing.T) {
+	analysistest.Run(t, "testdata", tracectx.Analyzer,
+		"a",
+		"wiclean/internal/obs/trace",
+	)
+}

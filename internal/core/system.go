@@ -13,6 +13,7 @@ import (
 	"wiclean/internal/detect"
 	"wiclean/internal/mining"
 	"wiclean/internal/obs"
+	"wiclean/internal/obs/trace"
 	"wiclean/internal/pattern"
 	"wiclean/internal/taxonomy"
 	"wiclean/internal/windows"
@@ -23,6 +24,7 @@ type System struct {
 	store  mining.Store
 	config windows.Config
 	obs    *obs.Registry // nil-safe; threaded through every stage
+	tracer *trace.Tracer // nil-safe; one trace per window mining job
 
 	outcome *windows.Outcome
 }
@@ -44,6 +46,18 @@ func (s *System) WithObs(r *obs.Registry) *System {
 
 // Obs returns the attached metrics registry (possibly nil).
 func (s *System) Obs() *obs.Registry { return s.obs }
+
+// WithTracer attaches a request-scoped tracer and returns the system:
+// every subsequent Mine opens one trace per (window, step) mining job,
+// spanning the mining phases down to individual source fetches. A nil
+// tracer — the default — disables tracing at zero cost.
+func (s *System) WithTracer(t *trace.Tracer) *System {
+	s.tracer = t
+	return s
+}
+
+// Tracer returns the attached tracer (possibly nil).
+func (s *System) Tracer() *trace.Tracer { return s.tracer }
 
 // Config returns the window-mining configuration the system was built
 // with — the input to provenance fingerprinting (see internal/model).
@@ -70,6 +84,7 @@ func (s *System) Registry() *taxonomy.Registry { return s.store.Registry() }
 func (s *System) Mine(seeds []taxonomy.EntityID, seedType taxonomy.Type, span action.Window) (*windows.Outcome, error) {
 	cfg := s.config
 	cfg.Obs = s.obs
+	cfg.Tracer = s.tracer
 	o, err := windows.Run(s.store, seeds, seedType, span, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,61 @@
+// Package logx is WiClean's structured-logging setup: log/slog with a
+// JSON handler, wrapped so every record logged with a context carries
+// the trace and span IDs of that context's current trace span. Log
+// lines and trace exports then join on trace_id — grep a slow request's
+// ID in the access log and the same ID finds its trace in the JSONL
+// export or /debug/traces.
+//
+// The binaries construct one logger at startup (New) and pass it down;
+// libraries keep reporting through obs/trace and error returns — only
+// cmd/* and the HTTP server log.
+package logx
+
+import (
+	"context"
+	"io"
+	"log/slog"
+
+	"wiclean/internal/obs/trace"
+)
+
+// New returns a JSON logger writing to w at the given level, with
+// trace/span-ID stamping from the log call's context.
+func New(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(Handler(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})))
+}
+
+// Handler wraps any slog.Handler so records logged with a traced
+// context gain trace_id and span_id attributes.
+func Handler(inner slog.Handler) slog.Handler { return ctxHandler{inner: inner} }
+
+// ctxHandler decorates records with the context's trace identity.
+type ctxHandler struct {
+	inner slog.Handler
+}
+
+// Enabled delegates to the wrapped handler.
+func (h ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle stamps the context's trace and span IDs onto the record, then
+// delegates.
+func (h ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := trace.FromContext(ctx); sp != nil {
+		rec.AddAttrs(
+			slog.String("trace_id", sp.TraceID().String()),
+			slog.String("span_id", sp.SpanID().String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+// WithAttrs keeps the wrapper around the derived handler.
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup keeps the wrapper around the derived handler.
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{inner: h.inner.WithGroup(name)}
+}

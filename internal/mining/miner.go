@@ -1,12 +1,14 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"wiclean/internal/action"
 	"wiclean/internal/obs"
+	"wiclean/internal/obs/trace"
 	"wiclean/internal/pattern"
 	"wiclean/internal/relational"
 	"wiclean/internal/taxonomy"
@@ -57,6 +59,10 @@ type miner struct {
 
 	stats Stats
 	obs   *obs.Registry // nil-safe metrics sink (cfg.Obs)
+
+	// ctx carries the run's trace span (if any) to the worker-pool batch
+	// spans; it scopes observability only, never mining decisions.
+	ctx context.Context
 }
 
 // Mine runs Algorithm 1 for one window: it finds the most specific
@@ -68,6 +74,18 @@ type miner struct {
 // §6.1 where S is a sample of 100–1K entities of the seed type; pass the
 // full entities(t) as seeds for the paper's Definition 3.2 verbatim.
 func Mine(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w action.Window, cfg Config) (*Result, error) {
+	return MineContext(context.Background(), store, seeds, seedType, w, cfg)
+}
+
+// MineContext is Mine under a context. When ctx carries a trace span
+// (internal/obs/trace), the run records a "mining.mine" child span with
+// per-phase children — preprocess, grow, and one span per worker-pool
+// extension batch — and when store is a ContextStore its fetches are
+// rebound to the run's context, so source-layer fetch spans join the
+// same trace and cancellation reaches in-flight fetches. Tracing is
+// observe-only: the mined Result is identical with or without a traced
+// context.
+func MineContext(ctx context.Context, store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w action.Window, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -78,12 +96,20 @@ func Mine(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w acti
 	if !reg.Taxonomy().Has(seedType) {
 		return nil, fmt.Errorf("mining: unknown seed type %q", seedType)
 	}
+	ctx, tsp := trace.StartSpan(ctx, "mining.mine")
+	tsp.SetAttr("seed_type", string(seedType))
+	tsp.SetAttrInt("seeds", int64(len(seeds)))
+	if cs, ok := store.(ContextStore); ok {
+		store = cs.WithContext(ctx)
+	}
 	m := newMiner(store, seeds, seedType, w, cfg)
+	m.ctx = ctx
 	m.obs.Counter(obs.MiningRuns).Inc()
 	span := m.obs.Span("mining.mine")
 
 	pre := time.Now() //wiclean:allow-nondet Stats.Preprocessing wall time; never read by the mining output
 	preSpan := span.Child("preprocess")
+	_, preTrace := trace.StartSpan(ctx, "mining.preprocess") //wiclean:allow-tracectx leaf phase span; fetches keep the mine-level context so the store binding stays shared
 	if cfg.Incremental {
 		// Line 1: extract, reduce and abstract the seed entities' actions.
 		m.extractEntities(seeds)
@@ -93,22 +119,35 @@ func Mine(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w acti
 		m.extractAll()
 	}
 	preSpan.End()
+	preTrace.End()
 	m.stats.Preprocessing = time.Since(pre) //wiclean:allow-nondet Stats timing only; never read by the mining output
 	if err := fetchFailure(store); err != nil {
+		tsp.Fail(err)
+		tsp.End()
 		return nil, err
 	}
 
 	mine := time.Now() //wiclean:allow-nondet Stats.Mining wall time; never read by the mining output
 	growSpan := span.Child("grow")
+	gctx, growTrace := trace.StartSpan(ctx, "mining.grow")
+	m.ctx = gctx // extension-batch spans nest under the grow phase
 	m.seedSingletons()
 	err := m.grow()
 	growSpan.End()
+	growTrace.Fail(err)
+	growTrace.End()
 	if err != nil {
+		tsp.Fail(err)
+		tsp.End()
 		return nil, err
 	}
 	m.stats.Mining = time.Since(mine) //wiclean:allow-nondet Stats timing only; never read by the mining output
 
-	m.obs.Histogram(obs.MiningSeconds, obs.DurationBuckets).ObserveDuration(span.End())
+	tsp.SetAttrInt("frequent", int64(m.stats.FrequentFound))
+	tsp.SetAttrInt("candidates", int64(m.stats.Candidates))
+	tsp.End()
+	m.obs.Histogram(obs.MiningSeconds, obs.DurationBuckets).
+		ObserveDurationWithExemplar(span.End(), tsp.TraceIDString())
 	return m.result(), nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"wiclean/internal/obs"
+	"wiclean/internal/obs/trace"
 	"wiclean/internal/pattern"
 	"wiclean/internal/relational"
 )
@@ -90,6 +91,13 @@ func (m *miner) runExtendJobs(jobs []extendJob) []jobResult {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	var bsp *trace.Span
+	if len(jobs) > 0 {
+		//wiclean:allow-tracectx leaf batch span; worker goroutines take jobs from the shared slice, not a child context
+		_, bsp = trace.StartSpan(m.ctx, "mining.extend_batch")
+		bsp.SetAttrInt("jobs", int64(len(jobs)))
+		bsp.SetAttrInt("workers", int64(workers))
+	}
 	start := time.Now() //wiclean:allow-nondet batch wall time feeds the obs histograms below only
 	var busy time.Duration
 	if workers <= 1 {
@@ -121,10 +129,12 @@ func (m *miner) runExtendJobs(jobs []extendJob) []jobResult {
 			busy += time.Duration(ns)
 		}
 	}
+	bsp.End()
 	//wiclean:allow-nondet utilization metrics only; results were merged in job order above
 	if wall := time.Since(start); wall > 0 && len(jobs) > 0 {
 		m.obs.Counter(obs.MiningExtendBatches).Inc()
-		m.obs.Histogram(obs.MiningExtendBatchSeconds, obs.DurationBuckets).ObserveDuration(wall)
+		m.obs.Histogram(obs.MiningExtendBatchSeconds, obs.DurationBuckets).
+			ObserveDurationWithExemplar(wall, bsp.TraceIDString())
 		util := busy.Seconds() / (float64(workers) * wall.Seconds())
 		m.obs.Histogram(obs.MiningJoinWorkerUtilization, obs.RatioBuckets).Observe(util)
 	}

@@ -1,8 +1,10 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 
+	"wiclean/internal/obs/trace"
 	"wiclean/internal/pattern"
 )
 
@@ -32,23 +34,39 @@ func (r RelativePattern) String() string {
 // frequent patterns proceeds in a similar manner ... relative frequency is
 // computed ... using the formula in Definition 3.4").
 func MineRelative(store Store, base *Result, cfg Config) (map[string][]RelativePattern, error) {
+	return MineRelativeContext(context.Background(), store, base, cfg)
+}
+
+// MineRelativeContext is MineRelative under a context: a "mining.relative"
+// trace span (with per-batch children) when ctx carries one, and a
+// context-rebound store when store is a ContextStore — the same
+// observe-only contract as MineContext.
+func MineRelativeContext(ctx context.Context, store Store, base *Result, cfg Config) (map[string][]RelativePattern, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, tsp := trace.StartSpan(ctx, "mining.relative")
+	tsp.SetAttrInt("base_patterns", int64(len(base.Patterns)))
+	if cs, ok := store.(ContextStore); ok {
+		store = cs.WithContext(ctx)
+	}
 	out := map[string][]RelativePattern{}
 	for _, sp := range base.Patterns {
-		rels, err := mineRelativeOne(store, base, sp, cfg)
+		rels, err := mineRelativeOne(ctx, store, base, sp, cfg)
 		if err != nil {
+			tsp.Fail(err)
+			tsp.End()
 			return nil, err
 		}
 		if len(rels) > 0 {
 			out[sp.Pattern.Canonical()] = rels
 		}
 	}
+	tsp.End()
 	return out, nil
 }
 
-func mineRelativeOne(store Store, base *Result, sp ScoredPattern, cfg Config) ([]RelativePattern, error) {
+func mineRelativeOne(ctx context.Context, store Store, base *Result, sp ScoredPattern, cfg Config) ([]RelativePattern, error) {
 	if sp.Frequency <= 0 {
 		return nil, nil
 	}
@@ -61,6 +79,7 @@ func mineRelativeOne(store Store, base *Result, sp ScoredPattern, cfg Config) ([
 	sub.Tau = absTau
 
 	m := newMiner(store, base.Seeds, base.SeedType, base.Window, sub)
+	m.ctx = ctx
 	if sub.Incremental {
 		m.extractEntities(m.seeds)
 	} else {

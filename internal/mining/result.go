@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -48,6 +49,19 @@ type FallibleStore interface {
 
 	// FetchErr returns the first revision-history fetch failure, or nil.
 	FetchErr() error
+}
+
+// ContextStore is an optional Store extension for backends whose fetches
+// are scoped to a context (source.Store): WithContext returns a view of
+// the same store — shared cache, shared sticky error — whose fetches run
+// under ctx. MineContext rebinds a ContextStore to its own context, so
+// cancellation reaches in-flight fetches and the source layer's fetch
+// spans join the caller's trace (see internal/obs/trace).
+type ContextStore interface {
+	Store
+
+	// WithContext returns this store rebound to ctx.
+	WithContext(ctx context.Context) Store
 }
 
 // fetchFailure surfaces a FallibleStore's sticky error, wrapped with

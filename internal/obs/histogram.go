@@ -10,11 +10,23 @@ import (
 // upper bounds, Prometheus-style: counts[i] is the number of observations
 // v <= bounds[i]; the final slot is the implicit +Inf bucket. Sum and
 // Count accumulate alongside. All updates are atomic and lock-free.
+//
+// Each bucket additionally holds at most one exemplar — the trace ID and
+// value of the latest observation recorded through ObserveWithExemplar —
+// linking a /metrics latency tail to a concrete trace in the trace ring
+// or JSONL export (OpenMetrics-style exemplar linkage).
 type Histogram struct {
-	bounds  []float64
-	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
-	count   atomic.Uint64
-	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	bounds    []float64
+	buckets   []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count     atomic.Uint64
+	sumBits   atomic.Uint64              // float64 bits, CAS-accumulated
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1; last write wins
+}
+
+// Exemplar ties one observed value to the trace it came from.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // DurationBuckets are the default latency bounds, in seconds.
@@ -33,11 +45,20 @@ var RatioBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 
 
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
-	return &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		buckets:   make([]atomic.Uint64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one observation; nil-safe.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveWithExemplar(v, "") }
+
+// ObserveWithExemplar records one observation and, when traceID is
+// non-empty, stamps it (with the value) as the owning bucket's exemplar,
+// replacing any earlier one. Nil-safe.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
 	if h == nil {
 		return
 	}
@@ -47,6 +68,9 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.buckets[i].Add(1)
 	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
 	for {
 		old := h.sumBits.Load()
 		nv := math.Float64bits(math.Float64frombits(old) + v)
@@ -58,6 +82,12 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records d in seconds; nil-safe.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveDurationWithExemplar records d in seconds with a trace-ID
+// exemplar; nil-safe.
+func (h *Histogram) ObserveDurationWithExemplar(d time.Duration, traceID string) {
+	h.ObserveWithExemplar(d.Seconds(), traceID)
+}
 
 // Count returns the total number of observations; nil-safe (0).
 func (h *Histogram) Count() uint64 {

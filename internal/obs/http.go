@@ -63,6 +63,17 @@ func (sr *statusRecorder) Flush() {
 // or prefix match for entries ending in "/"); anything else records as
 // "other". A nil registry returns next unchanged.
 func (r *Registry) HTTPMiddleware(next http.Handler, known ...string) http.Handler {
+	return r.HTTPMiddlewareTraced(next, nil, known...)
+}
+
+// HTTPMiddlewareTraced is HTTPMiddleware plus exemplar linkage: when
+// exemplar returns a non-empty trace ID for a request — typically read
+// off the request context installed by an outer tracing middleware — the
+// latency observation carries it as the bucket's exemplar. The extractor
+// is a function parameter (not a trace-package call) so obs stays
+// import-free of the trace layer it feeds. A nil registry returns next
+// unchanged; a nil exemplar degrades to HTTPMiddleware.
+func (r *Registry) HTTPMiddlewareTraced(next http.Handler, exemplar func(*http.Request) string, known ...string) http.Handler {
 	if r == nil {
 		return next
 	}
@@ -73,14 +84,22 @@ func (r *Registry) HTTPMiddleware(next http.Handler, known ...string) http.Handl
 		if sr.status == 0 {
 			sr.status = http.StatusOK
 		}
-		path := normalizePath(req.URL.Path, known)
+		traceID := ""
+		if exemplar != nil {
+			traceID = exemplar(req)
+		}
+		path := NormalizePath(req.URL.Path, known)
 		r.Counter(Labeled(HTTPRequests, "path", path, "code", statusClass(sr.status))).Inc()
 		r.Histogram(Labeled(HTTPRequestSeconds, "path", path), DurationBuckets).
-			ObserveDuration(time.Since(start))
+			ObserveDurationWithExemplar(time.Since(start), traceID)
 	})
 }
 
-func normalizePath(p string, known []string) string {
+// NormalizePath maps a request path onto the bounded known set the HTTP
+// metrics are labeled with: an exact match, a prefix match for entries
+// ending in "/", or "other". Shared with the server's access log so logs
+// and metrics agree on endpoint naming.
+func NormalizePath(p string, known []string) string {
 	for _, k := range known {
 		if p == k || (strings.HasSuffix(k, "/") && strings.HasPrefix(p, k)) {
 			return k

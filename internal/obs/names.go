@@ -92,10 +92,25 @@ const (
 	CheckpointResumes = "wiclean_checkpoint_resumes_total"
 
 	// HTTP surface (internal/plugin). Both carry a path label; the
-	// request counter adds a status-class code label.
+	// request counter adds a status-class code label. Panics counts
+	// requests answered 500 by the recover middleware.
 	HTTPRequests       = "wiclean_http_requests_total"
 	HTTPRequestSeconds = "wiclean_http_request_duration_seconds"
+	HTTPPanics         = "wiclean_http_panics_total"
 
 	// Span aggregates render under this summary name with a span label.
 	SpanSeconds = "wiclean_span_duration_seconds"
+
+	// Observability internals: recent-span ring overflow (the ring keeps
+	// the newest recentSpanCap spans; every overwrite of an older record
+	// increments the counter).
+	ObsSpansDropped = "wiclean_obs_spans_dropped_total"
+
+	// Request-scoped tracing (internal/obs/trace). Started counts roots
+	// opened in this process; exported/sampled-out partition completed
+	// traces by the export decision; spans counts every ended trace span.
+	TracesStarted    = "wiclean_traces_started_total"
+	TracesExported   = "wiclean_traces_exported_total"
+	TracesSampledOut = "wiclean_traces_sampled_out_total"
+	TraceSpans       = "wiclean_trace_spans_total"
 )

@@ -41,7 +41,11 @@ func NewRegistry() *Registry {
 	}
 }
 
-// recentSpanCap bounds the finished-span ring buffer.
+// recentSpanCap bounds the finished-span ring buffer: the registry keeps
+// the newest recentSpanCap SpanRecords, and once the ring is full every
+// new span overwrites the oldest record and increments the
+// ObsSpansDropped counter. Snapshot.Recent therefore always holds the
+// most recent spans, never an unbounded history.
 const recentSpanCap = 256
 
 // Counter is a monotonically increasing atomic counter.

@@ -10,12 +10,16 @@ import (
 
 // HistogramSnapshot is the frozen state of one histogram. Counts has one
 // entry per bound plus a final +Inf slot; entries are per-bucket (not
-// cumulative — WritePrometheus accumulates).
+// cumulative — WritePrometheus accumulates). Exemplars, when present,
+// parallels Counts: entry i is bucket i's latest trace-ID exemplar, with
+// a zero entry for buckets that never saw one. It is omitted entirely
+// when no bucket holds an exemplar.
 type HistogramSnapshot struct {
-	Bounds []float64 `json:"bounds"`
-	Counts []uint64  `json:"counts"`
-	Count  uint64    `json:"count"`
-	Sum    float64   `json:"sum"`
+	Bounds    []float64  `json:"bounds"`
+	Counts    []uint64   `json:"counts"`
+	Count     uint64     `json:"count"`
+	Sum       float64    `json:"sum"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Quantile estimates the q-quantile of the observations by linear
@@ -130,6 +134,14 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		for i := range h.buckets {
 			hs.Counts[i] = h.buckets[i].Load()
+		}
+		for i := range h.exemplars {
+			if ex := h.exemplars[i].Load(); ex != nil {
+				if hs.Exemplars == nil {
+					hs.Exemplars = make([]Exemplar, len(h.buckets))
+				}
+				hs.Exemplars[i] = *ex
+			}
 		}
 		s.Histograms[k] = hs
 	}
@@ -265,8 +277,15 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			if i < len(h.Bounds) {
 				le = formatFloat(h.Bounds[i])
 			}
-			fmt.Fprintf(w, "%s_bucket{%s} %d\n", base,
+			fmt.Fprintf(w, "%s_bucket{%s} %d", base,
 				joinLabels(labels, fmt.Sprintf("le=%q", le)), cum)
+			// OpenMetrics-style exemplar suffix: ties the bucket to one
+			// concrete trace ID so a /metrics tail leads to /debug/traces.
+			if i < len(h.Exemplars) && h.Exemplars[i].TraceID != "" {
+				fmt.Fprintf(w, " # {trace_id=%q} %s",
+					h.Exemplars[i].TraceID, formatFloat(h.Exemplars[i].Value))
+			}
+			fmt.Fprintln(w)
 		}
 		if labels != "" {
 			fmt.Fprintf(w, "%s_sum{%s} %s\n", base, labels, formatFloat(h.Sum))

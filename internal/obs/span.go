@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"sync"
 	"time"
 )
@@ -29,11 +30,49 @@ type spanStat struct {
 	max   time.Duration
 }
 
-// SpanRecord is one finished span in the recent-trace ring.
+// SpanRecord is one finished span in the recent-trace ring. The ring
+// holds the newest recentSpanCap records; once full, each new span
+// overwrites the oldest and the ObsSpansDropped counter increments.
+// TraceID links the record to a request-scoped trace when the span came
+// from the trace layer (see internal/obs/trace); empty otherwise.
 type SpanRecord struct {
-	Path    string        `json:"path"`
-	Start   time.Time     `json:"start"`
-	Elapsed time.Duration `json:"elapsed_ns"`
+	Path    string
+	Start   time.Time
+	Elapsed time.Duration
+	TraceID string
+}
+
+// spanRecordJSON is SpanRecord's explicit wire form: elapsed_ns is a
+// plain integer nanosecond count. Marshaling time.Duration directly
+// would also emit integer nanoseconds today, but only as an unstated
+// consequence of Duration being an int64 — consumers reading
+// "elapsed_ns" deserve a field that says so in its type.
+type spanRecordJSON struct {
+	Path      string    `json:"path"`
+	Start     time.Time `json:"start"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+	TraceID   string    `json:"trace_id,omitempty"`
+}
+
+// MarshalJSON renders the record with elapsed_ns as explicit integer
+// nanoseconds.
+func (s SpanRecord) MarshalJSON() ([]byte, error) {
+	return json.Marshal(spanRecordJSON{
+		Path:      s.Path,
+		Start:     s.Start,
+		ElapsedNS: s.Elapsed.Nanoseconds(),
+		TraceID:   s.TraceID,
+	})
+}
+
+// UnmarshalJSON parses the wire form written by MarshalJSON.
+func (s *SpanRecord) UnmarshalJSON(b []byte) error {
+	var w spanRecordJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*s = SpanRecord{Path: w.Path, Start: w.Start, Elapsed: time.Duration(w.ElapsedNS), TraceID: w.TraceID}
+	return nil
 }
 
 // Span opens a root span with the given path name. Nil-safe.
@@ -59,22 +98,42 @@ func (s *Span) End() time.Duration {
 		return 0
 	}
 	elapsed := time.Since(s.start)
-	r := s.reg
+	s.reg.ObserveSpan(s.path, s.start, elapsed, "")
+	return elapsed
+}
+
+// ObserveSpan folds one externally timed span into the per-path
+// aggregate and the recent ring — the hook the trace layer uses so
+// request-scoped spans keep feeding the same aggregates as plain
+// obs.Spans. traceID, when non-empty, is recorded on the ring entry.
+// Nil-safe.
+func (r *Registry) ObserveSpan(path string, start time.Time, elapsed time.Duration, traceID string) {
+	if r == nil {
+		return
+	}
+	// Resolve the drop counter before taking r.mu: Counter takes r.mu
+	// itself, and the ring update below must stay deadlock-free.
+	dropped := r.Counter(ObsSpansDropped)
 
 	r.mu.Lock()
-	st := r.spans[s.path]
+	st := r.spans[path]
 	if st == nil {
 		st = &spanStat{}
-		r.spans[s.path] = st
+		r.spans[path] = st
 	}
-	rec := SpanRecord{Path: s.path, Start: s.start, Elapsed: elapsed}
+	rec := SpanRecord{Path: path, Start: start, Elapsed: elapsed, TraceID: traceID}
+	overflow := false
 	if len(r.recent) < recentSpanCap {
 		r.recent = append(r.recent, rec)
 	} else {
 		r.recent[r.recentPos] = rec
+		overflow = true
 	}
 	r.recentPos = (r.recentPos + 1) % recentSpanCap
 	r.mu.Unlock()
+	if overflow {
+		dropped.Inc()
+	}
 
 	st.mu.Lock()
 	st.count++
@@ -86,7 +145,6 @@ func (s *Span) End() time.Duration {
 		st.max = elapsed
 	}
 	st.mu.Unlock()
-	return elapsed
 }
 
 // Time runs f under a span named path and returns its duration. Nil-safe:

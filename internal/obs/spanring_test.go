@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestObserveSpanOverflowDropsOldest pins the recent-span ring contract:
+// the ring keeps the newest recentSpanCap records, each overwrite of an
+// older record increments wiclean_obs_spans_dropped_total, and the
+// survivors are exactly the newest writes.
+func TestObserveSpanOverflowDropsOldest(t *testing.T) {
+	r := NewRegistry()
+	base := time.Unix(1000, 0)
+	const extra = 40
+	for i := 0; i < recentSpanCap+extra; i++ {
+		path := "old"
+		if i >= extra {
+			path = "new"
+		}
+		r.ObserveSpan(path, base.Add(time.Duration(i)*time.Second), time.Millisecond, "")
+	}
+	snap := r.Snapshot()
+	if got := snap.Counters[ObsSpansDropped]; got != extra {
+		t.Fatalf("%s = %d, want %d", ObsSpansDropped, got, extra)
+	}
+	if got := len(snap.Recent); got != recentSpanCap {
+		t.Fatalf("ring size = %d, want %d", got, recentSpanCap)
+	}
+	for _, rec := range snap.Recent {
+		if rec.Path == "old" {
+			t.Fatalf("ring still holds overwritten record started at %v", rec.Start)
+		}
+	}
+	// The aggregate keeps counting past the ring: drops lose the ring
+	// entry, never the statistics.
+	if snap.Spans["old"].Count != extra || snap.Spans["new"].Count != recentSpanCap {
+		t.Fatalf("span aggregates = %+v", snap.Spans)
+	}
+}
+
+// TestSpanRecordJSONWire pins the wire form: elapsed_ns is an explicit
+// integer nanosecond count and trace_id is omitted when empty.
+func TestSpanRecordJSONWire(t *testing.T) {
+	rec := SpanRecord{
+		Path:    "mining.mine",
+		Start:   time.Unix(42, 0).UTC(),
+		Elapsed: 2500 * time.Microsecond,
+		TraceID: "0af7651916cd43dd8448eb211c80319c",
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"elapsed_ns":2500000`) {
+		t.Fatalf("elapsed_ns not an explicit integer: %s", b)
+	}
+	if !strings.Contains(string(b), `"trace_id":"0af7651916cd43dd8448eb211c80319c"`) {
+		t.Fatalf("trace_id missing: %s", b)
+	}
+	var back SpanRecord
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != rec {
+		t.Fatalf("round trip = %+v, want %+v", back, rec)
+	}
+
+	b, err = json.Marshal(SpanRecord{Path: "p", Start: time.Unix(1, 0).UTC(), Elapsed: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "trace_id") {
+		t.Fatalf("empty trace_id must be omitted: %s", b)
+	}
+}
+
+// TestHistogramExemplars checks that ObserveWithExemplar stamps the
+// owning bucket, the snapshot carries it, and WritePrometheus renders
+// the OpenMetrics-style exemplar suffix on that bucket line.
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)                                         // no exemplar
+	h.ObserveWithExemplar(0.05, "aaaa1111")                  // bucket le=0.1
+	h.ObserveWithExemplar(0.07, "bbbb2222")                  // same bucket: last write wins
+	h.ObserveDurationWithExemplar(5*time.Second, "cccc3333") // +Inf bucket
+
+	hs := r.Snapshot().Histograms["lat_seconds"]
+	if len(hs.Exemplars) != len(hs.Counts) {
+		t.Fatalf("exemplars len = %d, want %d", len(hs.Exemplars), len(hs.Counts))
+	}
+	if hs.Exemplars[0].TraceID != "" {
+		t.Errorf("bucket 0 exemplar = %+v, want none", hs.Exemplars[0])
+	}
+	if hs.Exemplars[1].TraceID != "bbbb2222" || hs.Exemplars[1].Value != 0.07 {
+		t.Errorf("bucket 1 exemplar = %+v, want latest write bbbb2222", hs.Exemplars[1])
+	}
+	if hs.Exemplars[3].TraceID != "cccc3333" {
+		t.Errorf("+Inf exemplar = %+v", hs.Exemplars[3])
+	}
+
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# {trace_id="bbbb2222"} 0.07`) {
+		t.Fatalf("exemplar suffix missing from exposition:\n%s", out)
+	}
+	if strings.Contains(out, "aaaa1111") {
+		t.Fatalf("replaced exemplar still rendered:\n%s", out)
+	}
+
+	// Empty trace IDs never record an exemplar (plain Observe path), and
+	// the snapshot omits the slice entirely.
+	r2 := NewRegistry()
+	r2.Histogram("x", []float64{1}).Observe(0.5)
+	if ex := r2.Snapshot().Histograms["x"].Exemplars; ex != nil {
+		t.Fatalf("plain Observe produced exemplars: %+v", ex)
+	}
+}

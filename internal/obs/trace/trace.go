@@ -1,0 +1,160 @@
+// Package trace layers request-scoped trace trees on top of the obs
+// package's aggregate spans. Where obs.Span folds every timing into a
+// per-path aggregate (count/min/max/total) and forgets the individual
+// request, a trace.Span belongs to exactly one Trace — one mined window,
+// one HTTP request — identified by a 128-bit trace ID that travels
+// through context.Context inside a process and through the W3C
+// traceparent header between processes. A two-hop chained-server mine
+// (miner A fetching from wiclean-server B via "-source http") therefore
+// yields one stitched trace whose spans cover both processes.
+//
+// The design is observe-only: spans record timings and attributes but
+// never feed back into mining decisions, so mining output is
+// byte-identical with tracing on or off at any sample rate. Every
+// operation on a nil *Tracer or nil *Span is a no-op, mirroring the obs
+// nil-safety contract, and each ended span still folds into the obs
+// registry's per-span-name aggregate so the /metrics summary keeps
+// working when tracing is enabled.
+//
+// Completed traces export deterministically — spans sorted by (start,
+// span ID), struct fields in fixed order, attribute maps rendered in key
+// order by encoding/json — to a bounded in-memory ring (served at
+// GET /debug/traces) and optionally to a JSONL sink. Head-based sampling
+// hashes the trace ID, so every process of a distributed trace reaches
+// the same keep/drop decision without coordination; errored and slow
+// traces always export regardless of the sample rate.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+)
+
+// TraceID is the 128-bit identifier shared by every span of one trace,
+// across processes.
+type TraceID [16]byte
+
+// SpanID is the 64-bit identifier of one span within a trace.
+type SpanID [8]byte
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// SpanContext is the wire-visible identity of one span: the pair a
+// traceparent header carries between processes.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// IsZero reports whether either half of the context is missing.
+func (sc SpanContext) IsZero() bool { return sc.TraceID.IsZero() || sc.SpanID.IsZero() }
+
+// Header is the W3C Trace Context header name carrying a SpanContext
+// between processes.
+const Header = "traceparent"
+
+// FormatTraceparent renders sc as a W3C traceparent value:
+// 00-<32 hex trace-id>-<16 hex span-id>-01. The sampled flag is always
+// set because the export decision is re-derived deterministically from
+// the trace ID on every hop (see Tracer's head sampling) rather than
+// trusted from the wire.
+func FormatTraceparent(sc SpanContext) string {
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01"
+}
+
+// ParseTraceparent decodes a traceparent header value. It accepts any
+// version except the invalid ff, ignores trailing future-version fields,
+// and reports ok=false for malformed or all-zero IDs.
+func ParseTraceparent(v string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	if len(parts[0]) != 2 || strings.EqualFold(parts[0], "ff") {
+		return SpanContext{}, false
+	}
+	if _, err := hex.DecodeString(parts[0]); err != nil {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if len(parts[1]) != 32 {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(strings.ToLower(parts[1]))); err != nil {
+		return SpanContext{}, false
+	}
+	if len(parts[2]) != 16 {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(strings.ToLower(parts[2]))); err != nil {
+		return SpanContext{}, false
+	}
+	if len(parts[3]) != 2 {
+		return SpanContext{}, false
+	}
+	if _, err := hex.DecodeString(parts[3]); err != nil {
+		return SpanContext{}, false
+	}
+	if sc.IsZero() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// newTraceID draws a random, non-zero trace ID. Trace identity must be
+// unpredictable and collision-free across processes, so this is one of
+// the few sanctioned crypto/rand sites (the package is outside the
+// determinism lint's scope; IDs never influence mining output).
+func newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		mustRand(id[:])
+	}
+	return id
+}
+
+// newSpanID draws a random, non-zero span ID.
+func newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		mustRand(id[:])
+	}
+	return id
+}
+
+// mustRand fills b from crypto/rand. The reader is documented never to
+// fail on supported platforms; if it does, the process has no entropy
+// and no safe way to hand out identifiers, so fail loudly.
+func mustRand(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		panic("trace: crypto/rand failed: " + err.Error())
+	}
+}
+
+// headSampled is the deterministic head-sampling decision: hash-free,
+// it reads the trace ID's first 8 bytes as a uniform 64-bit draw and
+// keeps the trace when that draw falls under rate. Because the inputs
+// are only the (propagated) trace ID and the (configured) rate, every
+// process of a distributed trace agrees without coordination.
+func headSampled(id TraceID, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	x := binary.BigEndian.Uint64(id[:8])
+	return float64(x)/(1<<64) < rate
+}

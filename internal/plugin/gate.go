@@ -1,0 +1,54 @@
+package plugin
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// Gate is an atomically swappable http.Handler that lets a server bind
+// its port before the system behind it is ready. A fresh gate serves the
+// warming surface: /healthz answers 200 (the process is alive), /readyz
+// and every other path answer 503 (the model is not mined yet and the
+// suggestion index is not built). Once the real handler exists —
+// mining finished or a model warm-started — SetReady swaps it in and
+// every endpoint, including a 200 /readyz, comes live without a listener
+// restart. Liveness and readiness stay distinct the whole way: a
+// load-balancer keeps the instance out of rotation on /readyz while
+// /healthz keeps the process from being restarted mid-mine.
+type Gate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewGate returns a gate serving the warming surface.
+func NewGate() *Gate {
+	g := &Gate{}
+	warming := http.Handler(http.HandlerFunc(serveWarming))
+	g.h.Store(&warming)
+	return g
+}
+
+// serveWarming is the pre-ready surface: alive, not ready.
+func serveWarming(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/healthz":
+		writeJSON(w, map[string]any{"ok": true, "ready": false})
+	case "/readyz":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "mining in progress"})
+	default:
+		httpError(w, http.StatusServiceUnavailable, "warming up: model not yet mined")
+	}
+}
+
+// SetReady swaps the served handler; safe to call concurrently with
+// in-flight requests, which finish on whichever handler they started.
+func (g *Gate) SetReady(h http.Handler) {
+	g.h.Store(&h)
+}
+
+// ServeHTTP dispatches to the current handler.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*g.h.Load()).ServeHTTP(w, r)
+}

@@ -1,0 +1,178 @@
+package plugin
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wiclean/internal/logx"
+	"wiclean/internal/obs"
+	"wiclean/internal/obs/trace"
+)
+
+// TestGateWarmingThenReady pins the listen-before-mining lifecycle:
+// while warming, liveness (/healthz) answers 200 but readiness
+// (/readyz) and the API answer 503; SetReady flips every endpoint live
+// without touching the listener.
+func TestGateWarmingThenReady(t *testing.T) {
+	gate := NewGate()
+	ts := httptest.NewServer(gate)
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, `"ready":false`) {
+		t.Fatalf("warming /healthz = %d %q", code, body)
+	}
+	code, body := get("/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("warming /readyz = %d", code)
+	}
+	var ready struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal([]byte(body), &ready); err != nil || ready.Ready || ready.Reason == "" {
+		t.Fatalf("warming /readyz body = %q (err %v)", body, err)
+	}
+	if code, _ := get("/patterns"); code != http.StatusServiceUnavailable {
+		t.Fatalf("warming API = %d, want 503", code)
+	}
+
+	gate.SetReady(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("live:" + r.URL.Path))
+	}))
+	if code, body := get("/readyz"); code != http.StatusOK || body != "live:/readyz" {
+		t.Fatalf("ready /readyz = %d %q", code, body)
+	}
+	if code, body := get("/patterns"); code != http.StatusOK || body != "live:/patterns" {
+		t.Fatalf("ready API = %d %q", code, body)
+	}
+}
+
+// TestServerReadyz drives the real handler's readiness endpoint: a
+// mined server reports ready with its pattern and report counts.
+func TestServerReadyz(t *testing.T) {
+	getClient(t) // builds the shared mined server
+	resp, err := http.Get(cachedTS.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d", resp.StatusCode)
+	}
+	var body struct {
+		Ready    bool `json:"ready"`
+		Patterns int  `json:"patterns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Ready || body.Patterns == 0 {
+		t.Fatalf("/readyz body = %+v", body)
+	}
+}
+
+// TestRecoverMiddleware pins the panic barrier: a panicking handler
+// yields a JSON 500 (not a dead connection), increments
+// wiclean_http_panics_total, logs the panic with its stack, and marks
+// the request trace errored so it exports past sampling.
+func TestRecoverMiddleware(t *testing.T) {
+	var logBuf bytes.Buffer
+	reg := obs.NewRegistry()
+	tracer := trace.New(trace.Config{Service: "test", Registry: reg, SampleRate: 0})
+	srv := &Server{obs: reg, log: logx.New(&logBuf, slog.LevelInfo)}
+
+	inner := srv.recoverMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	h := tracer.HTTPMiddleware(inner)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/patterns", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "internal error") {
+		t.Fatalf("500 body = %q", rec.Body.String())
+	}
+	if got := reg.Snapshot().Counters[obs.HTTPPanics]; got != 1 {
+		t.Fatalf("%s = %d, want 1", obs.HTTPPanics, got)
+	}
+	logLine := logBuf.String()
+	if !strings.Contains(logLine, "panic in handler") || !strings.Contains(logLine, "boom") {
+		t.Fatalf("panic log = %q", logLine)
+	}
+	if !strings.Contains(logLine, `"trace_id"`) {
+		t.Fatalf("panic log carries no trace ID: %q", logLine)
+	}
+	// Fail() forced the trace past rate-0 sampling.
+	recent := tracer.Recent()
+	if len(recent) != 1 || recent[0].Reason != trace.ReasonError {
+		t.Fatalf("panicking request trace = %+v, want an error export", recent)
+	}
+
+	// A handler that already wrote a status keeps it: no double write.
+	started := srv.recoverMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("late")
+	}))
+	rec2 := httptest.NewRecorder()
+	started.ServeHTTP(rec2, httptest.NewRequest("GET", "/x", nil))
+	if rec2.Code != http.StatusAccepted {
+		t.Fatalf("late panic rewrote status to %d", rec2.Code)
+	}
+}
+
+// TestAccessLogCarriesTraceIDs checks the structured access log: one
+// info line per request with endpoint normalization, stamped with the
+// request's trace and span IDs by the context-aware logx handler.
+func TestAccessLogCarriesTraceIDs(t *testing.T) {
+	var logBuf bytes.Buffer
+	tracer := trace.New(trace.Config{Service: "test", SampleRate: 1})
+	srv := &Server{log: logx.New(&logBuf, slog.LevelInfo), slowAfter: 0}
+
+	inner := srv.accessLogMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	h := tracer.HTTPMiddleware(inner)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/patterns", nil))
+
+	var line struct {
+		Msg      string `json:"msg"`
+		Endpoint string `json:"endpoint"`
+		Status   int    `json:"status"`
+		TraceID  string `json:"trace_id"`
+		SpanID   string `json:"span_id"`
+	}
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("access log %q: %v", logBuf.String(), err)
+	}
+	if line.Msg != "http request" || line.Endpoint != "/patterns" || line.Status != 200 {
+		t.Fatalf("access log = %+v", line)
+	}
+	if len(line.TraceID) != 32 || len(line.SpanID) != 16 {
+		t.Fatalf("access log trace identity = %q / %q", line.TraceID, line.SpanID)
+	}
+	exported := tracer.Recent()
+	if len(exported) != 1 || exported[0].TraceID != line.TraceID {
+		t.Fatalf("log trace_id %q does not match the exported trace %+v", line.TraceID, exported)
+	}
+}

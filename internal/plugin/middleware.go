@@ -1,0 +1,116 @@
+package plugin
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"wiclean/internal/obs"
+	"wiclean/internal/obs/trace"
+)
+
+// statusWriter captures the response status for the logging and recover
+// middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// WriteHeader records the status and forwards.
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write defaults the status to 200 and forwards.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the wrapped writer when it supports streaming.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// recoverMiddleware turns a handler panic into a 500 response instead of
+// a dead connection: the panic is counted (wiclean_http_panics_total),
+// logged with its stack and the request's trace ID, and — unless the
+// handler already started writing a response — answered with a JSON 500.
+// The server stays up; one poisoned request cannot take the process
+// down.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			s.obs.Counter(obs.HTTPPanics).Inc()
+			if s.log != nil {
+				s.log.LogAttrs(r.Context(), slog.LevelError, "panic in handler",
+					slog.Any("panic", rec),
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.String("stack", string(debug.Stack())),
+				)
+			}
+			// Mark the request's trace errored so it exports past sampling.
+			trace.FromContext(r.Context()).Fail(panicError{})
+			if sw.status == 0 {
+				httpError(sw, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// panicError is the error recorded on a request trace whose handler
+// panicked; the panic value itself goes to the log, not the export.
+type panicError struct{}
+
+// Error names the failure.
+func (panicError) Error() string { return "handler panic" }
+
+// accessLogMiddleware emits one structured info line per request and a
+// warning for requests running at least s.slowAfter. The endpoint
+// attribute uses the same normalization as the HTTP metrics, so logs and
+// /metrics agree on endpoint naming; trace/span IDs ride in via the
+// context-aware logx handler. A nil logger disables the middleware.
+func (s *Server) accessLogMiddleware(next http.Handler) http.Handler {
+	if s.log == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("endpoint", obs.NormalizePath(r.URL.Path, knownPaths)),
+			slog.Int("status", sw.status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("elapsed", elapsed),
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "http request", attrs...)
+		if s.slowAfter > 0 && elapsed >= s.slowAfter {
+			s.log.LogAttrs(r.Context(), slog.LevelWarn, "slow http request", attrs...)
+		}
+	})
+}

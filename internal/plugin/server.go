@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -20,6 +21,7 @@ import (
 	"wiclean/internal/core"
 	"wiclean/internal/detect"
 	"wiclean/internal/obs"
+	"wiclean/internal/obs/trace"
 	"wiclean/internal/source"
 	"wiclean/internal/taxonomy"
 )
@@ -78,6 +80,9 @@ type Server struct {
 	assistant *assist.Assistant
 	reports   []*detect.Report
 	obs       *obs.Registry // the system's registry (possibly nil)
+	tracer    *trace.Tracer // per-request traces (possibly nil)
+	log       *slog.Logger  // access/slow/panic logs (possibly nil)
+	slowAfter time.Duration // slow-request log threshold; <=0 disables
 	start     time.Time
 	debug     bool
 }
@@ -114,20 +119,44 @@ func NewServer(sys *core.System, workers int) (*Server, error) {
 // implementation detail and should be opt-in per deployment.
 func (s *Server) EnableDebug() { s.debug = true }
 
+// WithTracer attaches a request tracer: every request runs under a
+// trace span (joining an inbound W3C traceparent when present), and the
+// completed-trace ring is served at GET /debug/traces. Nil disables.
+func (s *Server) WithTracer(t *trace.Tracer) *Server {
+	s.tracer = t
+	return s
+}
+
+// WithLogger attaches a structured access logger (one info line per
+// request) plus a slow-request warning for requests at or above
+// slowAfter (<=0 disables the slow log). Panic reports also go here.
+// Log records carry the request's trace and span IDs when the logger's
+// handler is context-aware (internal/logx) and a tracer is attached.
+func (s *Server) WithLogger(lg *slog.Logger, slowAfter time.Duration) *Server {
+	s.log = lg
+	s.slowAfter = slowAfter
+	return s
+}
+
 // knownPaths bounds the path-label cardinality of the HTTP metrics.
 var knownPaths = []string{
-	"/healthz", "/version", "/metrics",
+	"/healthz", "/readyz", "/version", "/metrics",
 	"/patterns", "/errors", "/periodic", "/suggest",
 	"/history", "/debug/",
 }
 
 // Handler returns the HTTP mux with every plugin endpoint mounted, plus
-// the ops surface (/metrics, /version, and — with EnableDebug —
-// /debug/vars and /debug/pprof/), all wrapped in the per-endpoint metrics
-// middleware.
+// the ops surface (/metrics, /version, /readyz, and — with EnableDebug —
+// /debug/vars and /debug/pprof/). The middleware stack, outermost first:
+// the tracing middleware (starts or joins the request's trace), the
+// metrics middleware (whose latency exemplars read that trace), the
+// access log, and the recover-to-500 guard directly around the mux — so
+// a panic is counted, logged with its trace ID, and still surfaces as an
+// ordinary 500 to every outer layer.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.Handle("GET /metrics", s.obs.MetricsHandler())
 	mux.HandleFunc("GET /patterns", s.handlePatterns)
@@ -139,6 +168,9 @@ func (s *Server) Handler() http.Handler {
 	// "-source http -source-url .../history" at (see source.HTTP).
 	mux.Handle("GET /history", source.HistoryHandler(s.sys.Store(),
 		func() action.Window { return s.sys.Outcome().Span }))
+	if s.tracer != nil {
+		mux.Handle("GET /debug/traces", s.tracer.Handler())
+	}
 	if s.debug {
 		s.obs.PublishExpvar("wiclean")
 		mux.Handle("GET /debug/vars", expvar.Handler())
@@ -148,7 +180,16 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s.obs.HTTPMiddleware(mux, knownPaths...)
+	h := s.recoverMiddleware(mux)
+	h = s.accessLogMiddleware(h)
+	h = s.obs.HTTPMiddlewareTraced(h, requestTraceID, knownPaths...)
+	return s.tracer.HTTPMiddleware(h)
+}
+
+// requestTraceID reads the trace ID the tracing middleware put on the
+// request context — the exemplar extractor for the metrics middleware.
+func requestTraceID(r *http.Request) string {
+	return trace.FromContext(r.Context()).TraceIDString()
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -167,6 +208,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"ok":             true,
 		"patterns":       len(s.sys.Outcome().Discovered),
 		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReady answers readiness. A constructed Server is ready by
+// definition — NewServer requires a mined (or warm-started) system and
+// eagerly builds the error reports and the suggestion index — so this
+// handler always says 200; the 503 phase of the readiness story lives in
+// Gate, which fronts the listener until this server exists.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"ready":    true,
+		"patterns": len(s.sys.Outcome().Discovered),
+		"reports":  len(s.reports),
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"wiclean/internal/action"
 	"wiclean/internal/obs"
+	"wiclean/internal/obs/trace"
 	"wiclean/internal/taxonomy"
 )
 
@@ -85,8 +86,13 @@ func (c *Cache) Stats() CacheStats {
 
 // FetchType serves w from the cached full history of t, fetching (once)
 // on miss. The returned slice is freshly allocated per call; callers may
-// keep it.
+// keep it. A traced context gets a "source.cache" span whose result
+// attribute — hit, coalesced or miss — says whether the backend was
+// touched; on a miss, the underlying fetch's spans nest beneath it.
 func (c *Cache) FetchType(ctx context.Context, t taxonomy.Type, w action.Window) ([]action.Action, error) {
+	ctx, sp := trace.StartSpan(ctx, "source.cache")
+	sp.SetAttr("type", string(t))
+	defer sp.End()
 	c.mu.Lock()
 	if el, ok := c.entries[t]; ok {
 		c.lru.MoveToFront(el)
@@ -94,18 +100,22 @@ func (c *Cache) FetchType(ctx context.Context, t taxonomy.Type, w action.Window)
 		c.stats.Hits++
 		c.mu.Unlock()
 		c.obs.Counter(obs.SourceCacheHits).Inc()
+		sp.SetAttr("result", "hit")
 		return filterWindow(actions, w), nil
 	}
 	if call, ok := c.inflight[t]; ok {
 		c.stats.Coalesced++
 		c.mu.Unlock()
 		c.obs.Counter(obs.SourceCacheCoalesced).Inc()
+		sp.SetAttr("result", "coalesced")
 		select {
 		case <-call.done:
 		case <-ctx.Done():
+			sp.Fail(ctx.Err())
 			return nil, ctx.Err()
 		}
 		if call.err != nil {
+			sp.Fail(call.err)
 			return nil, call.err
 		}
 		return filterWindow(call.actions, w), nil
@@ -115,6 +125,7 @@ func (c *Cache) FetchType(ctx context.Context, t taxonomy.Type, w action.Window)
 	c.stats.Misses++
 	c.mu.Unlock()
 	c.obs.Counter(obs.SourceCacheMisses).Inc()
+	sp.SetAttr("result", "miss")
 
 	call.actions, call.err = c.src.FetchType(ctx, t, AllTime)
 
@@ -127,6 +138,7 @@ func (c *Cache) FetchType(ctx context.Context, t taxonomy.Type, w action.Window)
 	close(call.done)
 
 	if call.err != nil {
+		sp.Fail(call.err)
 		return nil, call.err
 	}
 	return filterWindow(call.actions, w), nil

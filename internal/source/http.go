@@ -11,6 +11,8 @@ import (
 
 	"wiclean/internal/action"
 	"wiclean/internal/dump"
+	"wiclean/internal/mining"
+	"wiclean/internal/obs/trace"
 	"wiclean/internal/taxonomy"
 )
 
@@ -55,6 +57,11 @@ func (s *HTTP) FetchType(ctx context.Context, t taxonomy.Type, w action.Window) 
 	if err != nil {
 		return nil, Permanent(fmt.Errorf("source: building request: %w", err))
 	}
+	// Propagate the trace across the process boundary: the remote
+	// wiclean-server joins this trace ID, so a chained mine exports one
+	// stitched trace spanning both processes.
+	trace.Inject(ctx, req.Header)
+	trace.FromContext(ctx).SetAttr("backend", "http")
 	resp, err := s.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("source: fetching %q: %w", t, err)
@@ -91,6 +98,7 @@ func (s *HTTP) Span(ctx context.Context) (action.Window, error) {
 	if err != nil {
 		return action.Window{}, Permanent(err)
 	}
+	trace.Inject(ctx, req.Header)
 	resp, err := s.client.Do(req)
 	if err != nil {
 		return action.Window{}, fmt.Errorf("source: fetching span: %w", err)
@@ -139,7 +147,18 @@ func HistoryHandler(store historyStore, span func() action.Window) http.Handler 
 			_ = json.NewEncoder(w).Encode(spanPayload{Start: int64(sp.Start), End: int64(sp.End)})
 			return
 		}
-		reg := store.Registry()
+		// Serve the fetch under the request's context: when the tracing
+		// middleware put a span there and the store is context-rebindable
+		// (source.Store), the store-side fetch spans join the caller's
+		// trace — the receiving half of cross-process stitching.
+		serving := store
+		if cs, ok := store.(mining.ContextStore); ok {
+			if st, ok := cs.WithContext(r.Context()).(historyStore); ok {
+				serving = st
+			}
+		}
+		trace.FromContext(r.Context()).SetAttr("history_type", q.Get("type"))
+		reg := serving.Registry()
 		t := taxonomy.Type(q.Get("type"))
 		if t == "" || !reg.Taxonomy().Has(t) {
 			http.Error(w, fmt.Sprintf("unknown type %q", t), http.StatusNotFound)
@@ -162,7 +181,7 @@ func HistoryHandler(store historyStore, span func() action.Window) http.Handler 
 			}
 			win.End = action.Time(n)
 		}
-		as := store.ActionsOf(reg.EntitiesOf(t), win)
+		as := serving.ActionsOf(reg.EntitiesOf(t), win)
 		recs := make([]dump.ActionRecord, len(as))
 		for i, a := range as {
 			recs[i] = dump.RecordOf(a, reg)

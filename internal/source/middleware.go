@@ -15,6 +15,7 @@ import (
 
 	"wiclean/internal/action"
 	"wiclean/internal/obs"
+	"wiclean/internal/obs/trace"
 	"wiclean/internal/taxonomy"
 )
 
@@ -153,8 +154,13 @@ type retrySource struct {
 // Registry returns the wrapped source's registry.
 func (s *retrySource) Registry() *taxonomy.Registry { return s.src.Registry() }
 
-// FetchType runs the retry loop of the policy.
+// FetchType runs the retry loop of the policy. The whole loop — every
+// attempt and every backoff wait — runs under one "source.fetch" trace
+// span (when ctx carries a trace), whose attempts/retries attributes and
+// error status answer "where did this slow mine wait" per fetch.
 func (s *retrySource) FetchType(ctx context.Context, t taxonomy.Type, w action.Window) ([]action.Action, error) {
+	ctx, sp := trace.StartSpan(ctx, "source.fetch")
+	sp.SetAttr("type", string(t))
 	var last error
 	attempts := 0
 	exhausted := false
@@ -173,6 +179,9 @@ func (s *retrySource) FetchType(ctx context.Context, t taxonomy.Type, w action.W
 		out, err := s.src.FetchType(ctx, t, w)
 		attempts++
 		if err == nil {
+			sp.SetAttrInt("attempts", int64(attempts))
+			sp.SetAttrInt("retries", int64(attempts-1))
+			sp.End()
 			return out, nil
 		}
 		last = err
@@ -185,7 +194,11 @@ func (s *retrySource) FetchType(ctx context.Context, t taxonomy.Type, w action.W
 	if exhausted || (attempts >= s.p.MaxAttempts && !IsPermanent(last)) {
 		err = joinExhausted(last)
 	}
-	return nil, &FetchError{Type: t, Window: w, Attempts: attempts, Err: err}
+	ferr := &FetchError{Type: t, Window: w, Attempts: attempts, Err: err}
+	sp.SetAttrInt("attempts", int64(attempts))
+	sp.Fail(ferr)
+	sp.End()
+	return nil, ferr
 }
 
 // joinExhausted pairs the last underlying error with ErrExhausted so both
@@ -280,12 +293,16 @@ type obsSource struct {
 // Registry returns the wrapped source's registry.
 func (s *obsSource) Registry() *taxonomy.Registry { return s.src.Registry() }
 
-// FetchType counts and times the delegated fetch.
+// FetchType counts and times the delegated fetch. The latency
+// observation carries the current trace ID (if any) as its bucket's
+// exemplar, so a fetch-latency tail on /metrics points at one concrete
+// trace.
 func (s *obsSource) FetchType(ctx context.Context, t taxonomy.Type, w action.Window) ([]action.Action, error) {
 	s.reg.Counter(obs.SourceFetches).Inc()
 	start := time.Now()
 	out, err := s.src.FetchType(ctx, t, w)
-	s.reg.Histogram(obs.SourceFetchSeconds, obs.DurationBuckets).ObserveDuration(time.Since(start))
+	s.reg.Histogram(obs.SourceFetchSeconds, obs.DurationBuckets).
+		ObserveDurationWithExemplar(time.Since(start), trace.FromContext(ctx).TraceIDString())
 	if err != nil {
 		s.reg.Counter(obs.SourceFetchErrors).Inc()
 	}

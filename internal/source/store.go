@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"wiclean/internal/action"
+	"wiclean/internal/mining"
 	"wiclean/internal/taxonomy"
 )
 
@@ -27,9 +28,26 @@ type Store struct {
 	//wiclean:allow-ctxfirst bridges the context-free mining.Store interface; NewStore documents the cancellation scope
 	ctx context.Context
 
+	// state is shared by every WithContext view of this store, so the
+	// sticky error stays sticky across rebindings.
+	state *fetchState
+}
+
+// fetchState is the mutable half of a Store, held behind a pointer so
+// context-rebound views (WithContext) copy the binding, not the state.
+type fetchState struct {
 	mu  sync.Mutex
 	err error
 }
+
+// Interface conformance: the miner's base, type-granular, fallible and
+// context-rebinding store extensions.
+var (
+	_ mining.Store         = (*Store)(nil)
+	_ mining.TypeStore     = (*Store)(nil)
+	_ mining.FallibleStore = (*Store)(nil)
+	_ mining.ContextStore  = (*Store)(nil)
+)
 
 // NewStore returns a Store fetching through src under ctx; canceling ctx
 // aborts every subsequent fetch of every miner sharing the store.
@@ -37,7 +55,21 @@ func NewStore(ctx context.Context, src HistorySource) *Store {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Store{src: src, ctx: ctx}
+	return &Store{src: src, ctx: ctx, state: &fetchState{}}
+}
+
+// WithContext returns a view of this store whose fetches run under ctx —
+// the mining.ContextStore hook. The view shares the backend stack (and
+// with it any cache) and the sticky error with its parent: a fetch
+// failure in any view fails them all, preserving the "better no result
+// than a partial graph" contract. MineContext rebinds the shared store
+// to its own traced context, so per-fetch source spans join that trace
+// and cancellation reaches in-flight fetches.
+func (s *Store) WithContext(ctx context.Context) mining.Store {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Store{src: s.src, ctx: ctx, state: s.state}
 }
 
 // Registry returns the source's entity registry.
@@ -46,27 +78,27 @@ func (s *Store) Registry() *taxonomy.Registry { return s.src.Registry() }
 // FetchErr returns the first fetch failure, if any — the
 // mining.FallibleStore hook.
 func (s *Store) FetchErr() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.err
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	return s.state.err
 }
 
 // fetch pulls one type, recording the first failure and short-circuiting
 // once failed.
 func (s *Store) fetch(t taxonomy.Type, w action.Window) []action.Action {
-	s.mu.Lock()
-	failed := s.err != nil
-	s.mu.Unlock()
+	s.state.mu.Lock()
+	failed := s.state.err != nil
+	s.state.mu.Unlock()
 	if failed {
 		return nil
 	}
 	out, err := s.src.FetchType(s.ctx, t, w)
 	if err != nil {
-		s.mu.Lock()
-		if s.err == nil {
-			s.err = err
+		s.state.mu.Lock()
+		if s.state.err == nil {
+			s.state.err = err
 		}
-		s.mu.Unlock()
+		s.state.mu.Unlock()
 		return nil
 	}
 	return out

@@ -1,0 +1,147 @@
+package source
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"wiclean/internal/action"
+	"wiclean/internal/obs/trace"
+)
+
+// syncBuffer serializes writes: miner-side exports happen on mining
+// goroutines while the test reads afterwards.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) exports(t *testing.T) []trace.TraceExport {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []trace.TraceExport
+	for _, line := range bytes.Split(bytes.TrimSpace(s.b.Bytes()), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var exp trace.TraceExport
+		if err := json.Unmarshal(line, &exp); err != nil {
+			t.Fatalf("trace export line %q: %v", line, err)
+		}
+		out = append(out, exp)
+	}
+	return out
+}
+
+// TestTraceTwoHopChain is the cross-process stitching test: hop A (a
+// miner fetching over -source http) opens a trace, the HTTP source
+// injects its traceparent outbound, and hop B (a wiclean-server-style
+// /history endpoint behind the tracing middleware) joins the same trace.
+// Both processes export their halves under one trace ID, with hop B's
+// root span parenting on a span that exists in hop A's half — exactly
+// the parentage wiclean-trace uses to stitch the merged tree.
+func TestTraceTwoHopChain(t *testing.T) {
+	w := newTestWorld(t)
+
+	// Hop B: the remote history server, its own tracer and export sink.
+	var outB syncBuffer
+	tracerB := trace.New(trace.Config{Service: "server-b", SampleRate: 1, Output: &outB})
+	handler := tracerB.HTTPMiddleware(HistoryHandler(w.hist, func() action.Window { return w.span }))
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	// Hop A: the miner's source stack over the wire, with its own tracer.
+	var outA syncBuffer
+	tracerA := trace.New(trace.Config{Service: "miner-a", SampleRate: 1, Output: &outA})
+	stack := WithRetry(NewHTTP(srv.URL, w.reg, srv.Client()), RetryPolicy{Sleep: noSleep})
+
+	ctx, root := tracerA.StartRoot(context.Background(), "windows.window")
+	got, err := stack.FetchType(ctx, "FootballPlayer", w.span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := w.hist.ActionsOf(w.players, w.span); len(got) != len(want) {
+		t.Fatalf("fetched %d actions, want %d", len(got), len(want))
+	}
+	root.End()
+
+	expsA, expsB := outA.exports(t), outB.exports(t)
+	if len(expsA) != 1 || len(expsB) != 1 {
+		t.Fatalf("exports: hop A %d, hop B %d, want 1 each", len(expsA), len(expsB))
+	}
+	a, b := expsA[0], expsB[0]
+
+	// One trace ID spans both processes.
+	if a.TraceID != b.TraceID {
+		t.Fatalf("trace IDs diverge: hop A %s, hop B %s", a.TraceID, b.TraceID)
+	}
+	if a.Service != "miner-a" || b.Service != "server-b" {
+		t.Fatalf("services = %q, %q", a.Service, b.Service)
+	}
+
+	// Hop A's half: the window root plus the retry layer's fetch span.
+	spansA := map[string]trace.SpanExport{}
+	ids := map[string]bool{}
+	for _, sp := range a.Spans {
+		spansA[sp.Name] = sp
+		ids[sp.SpanID] = true
+	}
+	fetch, ok := spansA["source.fetch"]
+	if !ok {
+		t.Fatalf("hop A exported no source.fetch span: %+v", a.Spans)
+	}
+	if fetch.Parent != spansA["windows.window"].SpanID {
+		t.Fatal("source.fetch must parent on the window root")
+	}
+	if fetch.Attrs["type"] != "FootballPlayer" || fetch.Attrs["attempts"] != "1" {
+		t.Fatalf("fetch attrs = %v", fetch.Attrs)
+	}
+
+	// Hop B's half: an http.request root whose remote parent is a span
+	// from hop A — the stitch point.
+	if b.Root != "http.request" {
+		t.Fatalf("hop B root = %q", b.Root)
+	}
+	if b.Parent == "" || !ids[b.Parent] {
+		t.Fatalf("hop B parent %q is not a span of hop A (%v)", b.Parent, ids)
+	}
+	if b.Parent != fetch.SpanID {
+		t.Fatalf("hop B must parent on the injecting fetch span %s, got %s", fetch.SpanID, b.Parent)
+	}
+	req := b.Spans[0]
+	if req.Attrs["method"] != "GET" || req.Attrs["status"] != "200" {
+		t.Fatalf("request span attrs = %v", req.Attrs)
+	}
+}
+
+// TestTraceInjectWithoutSpanSendsNoHeader pins the disabled-tracing
+// wire behavior: a context with no span must not emit a traceparent.
+func TestTraceInjectWithoutSpanSendsNoHeader(t *testing.T) {
+	w := newTestWorld(t)
+	var sawHeader string
+	inner := HistoryHandler(w.hist, func() action.Window { return w.span })
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		sawHeader = r.Header.Get(trace.Header)
+		inner.ServeHTTP(rw, r)
+	}))
+	defer srv.Close()
+
+	src := NewHTTP(srv.URL, w.reg, srv.Client())
+	if _, err := src.FetchType(context.Background(), "FootballPlayer", w.span); err != nil {
+		t.Fatal(err)
+	}
+	if sawHeader != "" {
+		t.Fatalf("untraced fetch sent traceparent %q", sawHeader)
+	}
+}

@@ -123,7 +123,7 @@ func RunContext(ctx context.Context, store mining.Store, seeds []taxonomy.Entity
 		cfg.Obs.Gauge(obs.WindowsWidthDays).Set(float64(width / action.Day))
 		cfg.Obs.Gauge(obs.WindowsTau).Set(tau)
 		stepSpan := runSpan.Child(fmt.Sprintf("step%02d", step))
-		results, err := mineAll(store, seeds, seedType, wins, mcfg, cfg.Workers)
+		results, err := mineAll(ctx, cfg.Tracer, store, seeds, seedType, wins, mcfg, cfg.Workers, step)
 		stepSpan.End()
 		if err != nil {
 			return nil, err
@@ -133,8 +133,9 @@ func RunContext(ctx context.Context, store mining.Store, seeds []taxonomy.Entity
 		total := 0
 		for i, res := range results {
 			out.Stats.Add(res.Stats)
+			// The WindowsMineSeconds observation happens inside mineAll,
+			// where the per-job trace root supplies the bucket exemplar.
 			dur := res.Stats.Preprocessing + res.Stats.Mining
-			cfg.Obs.Histogram(obs.WindowsMineSeconds, obs.DurationBuckets).ObserveDuration(dur)
 			out.WindowDurations = append(out.WindowDurations, dur)
 			for _, sp := range res.Patterns {
 				total++
@@ -191,7 +192,7 @@ func RunContext(ctx context.Context, store mining.Store, seeds []taxonomy.Entity
 
 	if !cfg.SkipRelative {
 		relSpan := runSpan.Child("relative")
-		err := relativeStage(store, out, cfg)
+		err := relativeStage(ctx, store, out, cfg)
 		relSpan.End()
 		if err != nil {
 			return nil, err
@@ -259,8 +260,8 @@ func nextSetting(width action.Time, tau float64, widenNext *bool, cfg Config, sp
 }
 
 // relativeStage runs MineRelative over every final window in parallel
-// (Algorithm 2, lines 13–14).
-func relativeStage(store mining.Store, out *Outcome, cfg Config) error {
+// (Algorithm 2, lines 13–14), one trace root per window.
+func relativeStage(ctx context.Context, store mining.Store, out *Outcome, cfg Config) error {
 	mcfg := cfg.Mining
 	mcfg.Tau = out.Tau
 	type job struct {
@@ -273,7 +274,11 @@ func relativeStage(store mining.Store, out *Outcome, cfg Config) error {
 	for w := 0; w < workerCount(cfg.Workers); w++ {
 		go func() {
 			for i := range jobs {
-				rel, err := mining.MineRelative(store, out.Windows[i].Result, mcfg)
+				rctx, root := cfg.Tracer.StartRoot(ctx, "windows.relative")
+				root.SetAttrInt("window_index", int64(i))
+				rel, err := mining.MineRelativeContext(rctx, store, out.Windows[i].Result, mcfg)
+				root.Fail(err)
+				root.End()
 				done <- job{i: i, rel: rel, err: err}
 			}
 		}()

@@ -15,6 +15,7 @@
 package windows
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"wiclean/internal/action"
 	"wiclean/internal/mining"
 	"wiclean/internal/obs"
+	"wiclean/internal/obs/trace"
 	"wiclean/internal/pattern"
 	"wiclean/internal/taxonomy"
 )
@@ -82,6 +84,14 @@ type Config struct {
 	// durations, the τ/width trajectory) and is forwarded to every
 	// per-window miner. Nil is a safe no-op.
 	Obs *obs.Registry
+
+	// Tracer, when non-nil, opens one request-scoped trace per (window,
+	// refinement step) mining job — root span "windows.window", carrying
+	// the window index, step, width and seed type as attributes, with the
+	// mining phases and source fetches as descendants — plus one
+	// "windows.relative" trace per final window. Tracing is observe-only:
+	// the Outcome is identical with a nil Tracer. See internal/obs/trace.
+	Tracer *trace.Tracer
 }
 
 // Defaults returns the paper's default configuration.
@@ -187,9 +197,13 @@ func workerCount(n int) int {
 }
 
 // mineAll mines every window of the split in parallel and returns the
-// results in window order.
-func mineAll(store mining.Store, seeds []taxonomy.EntityID, seedType taxonomy.Type,
-	wins []action.Window, cfg mining.Config, workers int) ([]*mining.Result, error) {
+// results in window order. Each (window, step) job runs under its own
+// trace — tracer.StartRoot, so concurrent windows build disjoint span
+// trees — and records its mining duration in the WindowsMineSeconds
+// histogram with the job's trace ID as the bucket exemplar.
+func mineAll(ctx context.Context, tracer *trace.Tracer, store mining.Store,
+	seeds []taxonomy.EntityID, seedType taxonomy.Type,
+	wins []action.Window, cfg mining.Config, workers, step int) ([]*mining.Result, error) {
 
 	results := make([]*mining.Result, len(wins))
 	errs := make([]error, len(wins))
@@ -200,7 +214,19 @@ func mineAll(store mining.Store, seeds []taxonomy.EntityID, seedType taxonomy.Ty
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = mining.Mine(store, seeds, seedType, wins[i], cfg)
+				wctx, root := tracer.StartRoot(ctx, "windows.window")
+				root.SetAttrInt("window_index", int64(i))
+				root.SetAttrInt("step", int64(step))
+				root.SetAttr("seed_type", string(seedType))
+				root.SetAttrInt("width_days", int64(wins[i].Width()/action.Day))
+				results[i], errs[i] = mining.MineContext(wctx, store, seeds, seedType, wins[i], cfg)
+				if res := results[i]; errs[i] == nil && res != nil {
+					dur := res.Stats.Preprocessing + res.Stats.Mining
+					cfg.Obs.Histogram(obs.WindowsMineSeconds, obs.DurationBuckets).
+						ObserveDurationWithExemplar(dur, root.TraceIDString())
+				}
+				root.Fail(errs[i])
+				root.End()
 			}
 		}()
 	}
