@@ -38,6 +38,7 @@ var Packages = []string{
 	"wiclean/internal/relational",
 	"wiclean/internal/windows",
 	"wiclean/internal/pattern",
+	"wiclean/internal/intern",
 	"wiclean/internal/model",
 	"wiclean/internal/taxonomy",
 }
@@ -50,7 +51,7 @@ var Analyzer = &analysis.Analyzer{
 	Name:      "determinism",
 	Directive: DirectiveName,
 	Doc: "forbid wall-clock reads, unseeded randomness and unsorted map iteration output " +
-		"in the deterministic packages (mining, relational, windows, pattern, model, taxonomy); " +
+		"in the deterministic packages (mining, relational, windows, pattern, intern, model, taxonomy); " +
 		"obs-only timing carries //wiclean:allow-nondet <reason>",
 	Run: run,
 }

@@ -26,6 +26,7 @@ func TestPackageList(t *testing.T) {
 		"wiclean/internal/relational": true,
 		"wiclean/internal/windows":    true,
 		"wiclean/internal/pattern":    true,
+		"wiclean/internal/intern":     true,
 		"wiclean/internal/model":      true,
 		"wiclean/internal/taxonomy":   true,
 	}

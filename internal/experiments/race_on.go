@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build.
+// The throughput guard skips itself under -race: instrumentation taxes
+// the two engines per memory access, not proportionally, so the
+// rowref/columnar ratio it measures there says nothing about the
+// uninstrumented engines the committed BENCH_4.json describes.
+const raceEnabled = true

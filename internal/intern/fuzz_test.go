@@ -1,0 +1,123 @@
+package intern
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// decodeTokens turns fuzz bytes into a token stream for the dictionary.
+// Plain mode splits data on 0xFF (so empty tokens, duplicates, and
+// adversarial near-collision strings all arise naturally). A 0xFE prefix
+// switches to synthetic mode: the next two bytes (big-endian, ×4) give a
+// count of generated distinct tokens, letting a 3-byte corpus entry force
+// >64k distinct values and exercise ID-width growth without megabytes of
+// corpus.
+func decodeTokens(data []byte) []string {
+	if len(data) >= 3 && data[0] == 0xFE {
+		n := (int(data[1])<<8 | int(data[2])) * 4
+		if n > 1<<18 {
+			n = 1 << 18
+		}
+		toks := make([]string, 0, n+8)
+		for i := 0; i < n; i++ {
+			toks = append(toks, fmt.Sprintf("g%06d", i))
+		}
+		// The remaining bytes still contribute literal tokens, so the two
+		// modes compose.
+		for _, b := range bytes.Split(data[3:], []byte{0xFF}) {
+			toks = append(toks, string(b))
+		}
+		return toks
+	}
+	var toks []string
+	for _, b := range bytes.Split(data, []byte{0xFF}) {
+		toks = append(toks, string(b))
+	}
+	return toks
+}
+
+// FuzzDict throws arbitrary token streams — duplicates, empty strings,
+// >64k distinct values via synthetic mode, shared-prefix/suffix
+// near-collisions — at the dictionary and checks its invariants: dense
+// IDs, round-trip, idempotent re-interning, snapshot-rebuild stability,
+// builder/set determinism, and injective varint key encoding.
+func FuzzDict(f *testing.F) {
+	f.Add([]byte("Player\xffteam\xff\xffPlayer\xff+"))
+	f.Add([]byte("\xff\xff\xff"))
+	f.Add([]byte("aa\xffab\xffba\xffa\xff"))
+	f.Add([]byte{0xFE, 0x00, 0x20, 'x'})       // 128 synthetic + "x"
+	f.Add([]byte{0xFE, 0x41, 0x00})            // 66560 synthetic: >64k distinct
+	f.Add([]byte{0xFE, 0x00, 0x01, 0xFF, 'a'}) // synthetic + empty + literal
+	f.Fuzz(func(t *testing.T, data []byte) {
+		toks := decodeTokens(data)
+
+		d := NewDict()
+		ids := make(map[string]uint32, len(toks))
+		for _, s := range toks {
+			id := d.Intern(s)
+			if prev, seen := ids[s]; seen && prev != id {
+				t.Fatalf("re-interning %q moved ID %d -> %d", s, prev, id)
+			}
+			ids[s] = id
+		}
+		if d.Len() != len(ids) {
+			t.Fatalf("Len = %d, distinct tokens = %d", d.Len(), len(ids))
+		}
+
+		// Round-trip + dense-ID check over the snapshot.
+		snap := d.Snapshot()
+		for id, s := range snap {
+			if got := d.ID(s); got != uint32(id) {
+				t.Fatalf("ID(%q) = %d, snapshot position %d", s, got, id)
+			}
+			if got := d.String(uint32(id)); got != s {
+				t.Fatalf("String(%d) = %q, want %q", id, got, s)
+			}
+		}
+
+		// Rebuilding from the snapshot reproduces identical IDs.
+		re := NewDict()
+		for _, s := range snap {
+			re.Intern(s)
+		}
+		if !reflect.DeepEqual(re.Snapshot(), snap) {
+			t.Fatal("snapshot rebuild drifted")
+		}
+
+		// A Builder over the same tokens is a pure function of the set:
+		// feeding tokens forward and backward must agree.
+		fwd, bwd := NewBuilder(), NewBuilder()
+		for i, s := range toks {
+			fwd.Add(s)
+			bwd.Add(toks[len(toks)-1-i])
+		}
+		if !reflect.DeepEqual(fwd.Build().Snapshot(), bwd.Build().Snapshot()) {
+			t.Fatal("builder output depends on insertion order")
+		}
+
+		// Varint ID encoding is injective over this dictionary.
+		if d.Len() <= 1<<12 { // quadratic check only on small universes
+			enc := make(map[string]uint32, d.Len())
+			for id := 0; id < d.Len(); id++ {
+				k := string(AppendID(nil, uint32(id)))
+				if prev, dup := enc[k]; dup {
+					t.Fatalf("IDs %d and %d share encoding %x", prev, id, k)
+				}
+				enc[k] = uint32(id)
+			}
+		} else {
+			// Large universes: spot-check the width boundaries.
+			for _, id := range []uint32{0, 0x7f, 0x80, 0x3fff, 0x4000, 0xffff, 0x10000} {
+				if int(id) >= d.Len() {
+					break
+				}
+				a, b := AppendID(nil, id), AppendID(nil, id+1)
+				if bytes.Equal(a, b) {
+					t.Fatalf("adjacent IDs %d,%d share encoding", id, id+1)
+				}
+			}
+		}
+	})
+}

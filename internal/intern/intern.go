@@ -1,0 +1,188 @@
+// Package intern implements the per-universe string-interning dictionary
+// of the columnar relational core: a deterministic bijection between the
+// string identities the pipeline joins on — type names, link labels, edit
+// ops, pattern canonical forms — and dense uint32 IDs. Interning happens
+// once, at ingest; every hot-path comparison after that is an integer
+// compare against dictionary IDs instead of a string compare, which is
+// what lets realization tables and probe loops stay allocation-free
+// (WikiLinkGraphs applies the same dictionary encoding to scale node IDs
+// across full Wikipedia editions). Strings are materialized back only at
+// result and model boundaries.
+//
+// Determinism contract: IDs assigned by a Dict are a pure function of the
+// sequence of Intern/InternBatch calls, and IDs assigned by a Builder are
+// a pure function of the SET of added strings — insertion order and
+// insertion concurrency do not matter, because Build sorts before
+// assigning. The determinism lint (internal/analysis) covers this package
+// for the same reason it covers relational and pattern: interned IDs flow
+// into canonical keys and join columns, so any wall-clock or map-order
+// dependence here would leak into mined output.
+package intern
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NoID is the sentinel returned by Lookup for unknown strings.
+const NoID uint32 = ^uint32(0)
+
+// Dict is an append-only string→uint32 dictionary. IDs are dense,
+// starting at 0, in first-intern order. The zero value is not usable;
+// call NewDict.
+//
+// Concurrency: Intern and InternBatch must be called from one goroutine
+// at a time (the miner interns only in its serial ingest and merge
+// phases); ID, String, Lookup, Len and Bytes are safe for concurrent use
+// once no writer is active — worker pools read a frozen dictionary.
+type Dict struct {
+	strs  []string
+	byStr map[string]uint32
+	bytes int
+}
+
+// NewDict returns a dictionary pre-seeded with the given strings,
+// deduplicated and interned in sorted order — the deterministic "built
+// once at ingest" seeding used for taxonomy types and ops, whose full
+// universe is known up front.
+func NewDict(seed ...string) *Dict {
+	d := &Dict{byStr: make(map[string]uint32, len(seed))}
+	d.InternBatch(seed)
+	return d
+}
+
+// Intern returns the ID for s, assigning the next dense ID on first
+// sight. The empty string is a legal entry.
+func (d *Dict) Intern(s string) uint32 {
+	if id, ok := d.byStr[s]; ok {
+		return id
+	}
+	id := uint32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.byStr[s] = id
+	d.bytes += len(s)
+	return id
+}
+
+// InternBatch interns every string of batch not yet present, in sorted
+// order. Batching makes the assigned IDs independent of the order
+// strings were discovered WITHIN one wave — the miner interns one batch
+// per ingest wave, so the dictionary depends only on the deterministic
+// wave sequence, never on per-action iteration order.
+func (d *Dict) InternBatch(batch []string) {
+	fresh := batch[:0:0]
+	for _, s := range batch {
+		if _, ok := d.byStr[s]; !ok {
+			fresh = append(fresh, s)
+		}
+	}
+	sort.Strings(fresh)
+	for i, s := range fresh {
+		// A batch may carry duplicates; sorting put them adjacent.
+		if i > 0 && s == fresh[i-1] {
+			continue
+		}
+		d.Intern(s)
+	}
+}
+
+// ID returns the ID of s; it panics if s was never interned, which
+// always indicates a pipeline bug (every string reaching a hot path must
+// have been interned at ingest).
+func (d *Dict) ID(s string) uint32 {
+	id, ok := d.byStr[s]
+	if !ok {
+		panic(fmt.Sprintf("intern: %q not in dictionary", s))
+	}
+	return id
+}
+
+// Lookup returns the ID of s, or (NoID, false) if s was never interned.
+func (d *Dict) Lookup(s string) (uint32, bool) {
+	id, ok := d.byStr[s]
+	if !ok {
+		return NoID, false
+	}
+	return id, true
+}
+
+// String materializes the string for id. Out-of-range IDs panic: an ID
+// not minted by this dictionary is a cross-universe mixup, never valid
+// data.
+func (d *Dict) String(id uint32) string {
+	if int(id) >= len(d.strs) {
+		panic(fmt.Sprintf("intern: ID %d out of range (dictionary has %d entries)", id, len(d.strs)))
+	}
+	return d.strs[id]
+}
+
+// Len returns the number of distinct interned strings.
+func (d *Dict) Len() int { return len(d.strs) }
+
+// Bytes returns the total size of the interned string payload — the
+// dictionary-size gauge of the obs layer.
+func (d *Dict) Bytes() int { return d.bytes }
+
+// Snapshot returns the interned strings in ID order (a copy). Rebuilding
+// a dictionary by interning a snapshot in order reproduces identical IDs,
+// which is how the property tests pin the encoding.
+func (d *Dict) Snapshot() []string {
+	out := make([]string, len(d.strs))
+	copy(out, d.strs)
+	return out
+}
+
+// AppendID appends the unsigned-varint encoding of id to key and returns
+// the extended slice. Canonical-form keys encode dictionary IDs this way:
+// IDs below 0x80 cost one byte, and the width grows with the dictionary —
+// a >64k-entry dictionary produces three-byte IDs. The encoding is
+// self-delimiting, so concatenated IDs decode unambiguously and two
+// distinct ID sequences never collide.
+func AppendID(key []byte, id uint32) []byte {
+	for id >= 0x80 {
+		key = append(key, byte(id)|0x80)
+		id >>= 7
+	}
+	return append(key, byte(id))
+}
+
+// Builder accumulates strings concurrently and assigns IDs all at once.
+// Add is safe for concurrent use; Build sorts the accumulated set, so
+// the resulting dictionary is a pure function of the set of added
+// strings — the same IDs no matter how many goroutines added them or in
+// what interleaving.
+type Builder struct {
+	mu  sync.Mutex
+	set map[string]struct{}
+}
+
+// NewBuilder returns an empty concurrent dictionary builder.
+func NewBuilder() *Builder {
+	return &Builder{set: map[string]struct{}{}}
+}
+
+// Add records s for the next Build. Safe for concurrent use.
+func (b *Builder) Add(s string) {
+	b.mu.Lock()
+	b.set[s] = struct{}{}
+	b.mu.Unlock()
+}
+
+// Build assigns IDs to every added string in sorted order and returns
+// the dictionary. The builder may be reused; later Builds include
+// strings added since.
+func (b *Builder) Build() *Dict {
+	b.mu.Lock()
+	all := make([]string, 0, len(b.set))
+	for s := range b.set {
+		all = append(all, s)
+	}
+	b.mu.Unlock()
+	sort.Strings(all)
+	d := &Dict{byStr: make(map[string]uint32, len(all))}
+	for _, s := range all {
+		d.Intern(s)
+	}
+	return d
+}

@@ -1,0 +1,209 @@
+package intern
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestRoundTrip is the core dictionary property: Intern then String/Lookup
+// round-trips, IDs are dense in first-come order, and re-interning is a
+// no-op.
+func TestRoundTrip(t *testing.T) {
+	d := NewDict()
+	words := []string{"Player", "team", "", "Club", "+", "-", "Player", ""}
+	ids := make([]uint32, len(words))
+	for i, w := range words {
+		ids[i] = d.Intern(w)
+	}
+	if ids[0] != ids[6] || ids[2] != ids[7] {
+		t.Fatalf("duplicate strings got distinct IDs: %v", ids)
+	}
+	if d.Len() != 6 {
+		t.Fatalf("Len = %d, want 6 distinct", d.Len())
+	}
+	for i, w := range words {
+		if got := d.String(ids[i]); got != w {
+			t.Errorf("String(Intern(%q)) = %q", w, got)
+		}
+		if id, ok := d.Lookup(w); !ok || id != ids[i] {
+			t.Errorf("Lookup(%q) = %d,%v want %d,true", w, id, ok, ids[i])
+		}
+		if got := d.ID(w); got != ids[i] {
+			t.Errorf("ID(%q) = %d want %d", w, got, ids[i])
+		}
+	}
+	if _, ok := d.Lookup("never-interned"); ok {
+		t.Error("Lookup of unknown string reported ok")
+	}
+	if d.Bytes() != len("Player")+len("team")+len("Club")+2 {
+		t.Errorf("Bytes = %d", d.Bytes())
+	}
+}
+
+// TestDenseFirstComeIDs pins the ID assignment contract: serial Intern
+// assigns 0,1,2,... in call order.
+func TestDenseFirstComeIDs(t *testing.T) {
+	d := NewDict()
+	for i := 0; i < 1000; i++ {
+		if id := d.Intern(fmt.Sprintf("s%03d", i)); id != uint32(i) {
+			t.Fatalf("Intern #%d assigned ID %d", i, id)
+		}
+	}
+}
+
+// TestNewDictSeedSorted verifies pre-seeding interns the (deduplicated)
+// seed set in sorted order regardless of argument order.
+func TestNewDictSeedSorted(t *testing.T) {
+	a := NewDict("zebra", "apple", "mango", "apple")
+	b := NewDict("apple", "mango", "zebra", "zebra", "mango")
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatalf("seed order leaked into IDs: %v vs %v", a.Snapshot(), b.Snapshot())
+	}
+	if want := []string{"apple", "mango", "zebra"}; !reflect.DeepEqual(a.Snapshot(), want) {
+		t.Fatalf("Snapshot = %v, want sorted %v", a.Snapshot(), want)
+	}
+}
+
+// TestInternBatchWaveDeterminism: the IDs a batch receives depend only on
+// the batch's SET of unseen strings, not on the batch's internal order.
+func TestInternBatchWaveDeterminism(t *testing.T) {
+	mk := func(waves [][]string) []string {
+		d := NewDict()
+		for _, w := range waves {
+			d.InternBatch(w)
+		}
+		return d.Snapshot()
+	}
+	base := mk([][]string{{"b", "a"}, {"d", "c", "a"}})
+	perm := mk([][]string{{"a", "b", "b"}, {"a", "c", "d", "c"}})
+	if !reflect.DeepEqual(base, perm) {
+		t.Fatalf("wave-internal order leaked: %v vs %v", base, perm)
+	}
+	if want := []string{"a", "b", "c", "d"}; !reflect.DeepEqual(base, want) {
+		t.Fatalf("Snapshot = %v, want %v", base, want)
+	}
+}
+
+// TestBuilderConcurrencyIndependence is the satellite property:
+// deterministic ID assignment independent of insertion concurrency. The
+// same string set added by 1 goroutine in order, 8 goroutines sharded,
+// and 8 goroutines interleaved over shuffled copies must yield identical
+// dictionaries.
+func TestBuilderConcurrencyIndependence(t *testing.T) {
+	words := make([]string, 5000)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%04d", i%1700) // duplicates on purpose
+	}
+
+	serial := NewBuilder()
+	for _, w := range words {
+		serial.Add(w)
+	}
+	want := serial.Build().Snapshot()
+
+	for trial := 0; trial < 4; trial++ {
+		shuffled := append([]string(nil), words...)
+		rand.New(rand.NewSource(int64(trial))).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		b := NewBuilder()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < len(shuffled); i += 8 {
+					b.Add(shuffled[i])
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := b.Build().Snapshot(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: concurrent build differs from serial (len %d vs %d)",
+				trial, len(got), len(want))
+		}
+	}
+}
+
+// TestSnapshotRebuild: interning a snapshot in order reproduces the
+// dictionary exactly — the encoding-stability anchor the fuzz target
+// also checks.
+func TestSnapshotRebuild(t *testing.T) {
+	d := NewDict()
+	for _, s := range []string{"x", "", "y", "x", "zz"} {
+		d.Intern(s)
+	}
+	re := NewDict()
+	for _, s := range d.Snapshot() {
+		re.Intern(s)
+	}
+	if !reflect.DeepEqual(d.Snapshot(), re.Snapshot()) {
+		t.Fatalf("rebuild drifted: %v vs %v", d.Snapshot(), re.Snapshot())
+	}
+}
+
+// TestIDWidthGrowth forces >64k distinct entries so IDs cross the 16-bit
+// boundary, and verifies round-trip plus varint key-width growth.
+func TestIDWidthGrowth(t *testing.T) {
+	d := NewDict()
+	const n = 70000
+	for i := 0; i < n; i++ {
+		d.Intern(fmt.Sprintf("e%05d", i))
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	for _, i := range []int{0, 127, 128, 16383, 16384, 65535, 65536, n - 1} {
+		s := fmt.Sprintf("e%05d", i)
+		if got := d.String(d.ID(s)); got != s {
+			t.Fatalf("round-trip broke at %d: %q", i, got)
+		}
+	}
+	if got := len(AppendID(nil, 0x7f)); got != 1 {
+		t.Errorf("AppendID(0x7f) width = %d, want 1", got)
+	}
+	if got := len(AppendID(nil, 0x80)); got != 2 {
+		t.Errorf("AppendID(0x80) width = %d, want 2", got)
+	}
+	if got := len(AppendID(nil, 70000)); got != 3 {
+		t.Errorf("AppendID(70000) width = %d, want 3", got)
+	}
+}
+
+// TestAppendIDSelfDelimiting: concatenations of distinct ID sequences
+// never collide (the property canonical-key encoding relies on).
+func TestAppendIDSelfDelimiting(t *testing.T) {
+	seqs := [][]uint32{
+		{0}, {1}, {0, 0}, {127}, {128}, {128, 0}, {0, 128},
+		{16384}, {16383, 1}, {70000}, {1, 70000}, {70000, 1},
+	}
+	seen := map[string][]uint32{}
+	for _, seq := range seqs {
+		var key []byte
+		for _, id := range seq {
+			key = AppendID(key, id)
+		}
+		if prev, dup := seen[string(key)]; dup {
+			t.Fatalf("sequences %v and %v encode to the same key %x", prev, seq, key)
+		}
+		seen[string(key)] = seq
+	}
+}
+
+// TestPanics pins the fail-fast contract for pipeline bugs.
+func TestPanics(t *testing.T) {
+	d := NewDict("only")
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ID(unknown)", func() { d.ID("unknown") })
+	mustPanic("String(out-of-range)", func() { d.String(99) })
+}

@@ -54,6 +54,20 @@ type Config struct {
 	// (PM−inc).
 	Incremental bool
 
+	// ProbePartitionMin overrides the probe-side row count at which hash
+	// joins switch to the partitioned parallel probe (0 = the engine
+	// default). Tests force it to 1 so sharded probes fire on small tables;
+	// the output is byte-identical at any setting.
+	ProbePartitionMin int
+
+	// JoinBackend overrides the physical-join implementation of every
+	// engine the miner builds (nil = the engine's built-in columnar joins).
+	// Planning, stats accounting and result assembly are unchanged either
+	// way; the relational/difftest suite uses it to replay entire mining
+	// pipelines on the retained row-oriented reference implementation and
+	// byte-compare the outputs.
+	JoinBackend relational.Impl
+
 	// NoReduce disables the reduction of action sets before abstraction —
 	// an ablation of the §3 reduced-set preprocessing. Reverted rumor
 	// pairs then survive into the realization tables, inflating both cost

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wiclean/internal/action"
+	"wiclean/internal/intern"
 	"wiclean/internal/obs"
 	"wiclean/internal/obs/trace"
 	"wiclean/internal/pattern"
@@ -45,13 +46,34 @@ type miner struct {
 	templates     map[pattern.Template]*relational.Table
 	templateOrder []pattern.Template // deterministic iteration
 
-	// Frequent patterns with their realization tables, keyed by canonical
-	// form (the realization cache the paper mentions).
-	frequent map[string]*ScoredPattern
-	order    []string // canonical keys in discovery order
+	// coder produces the compact canonical keys the miner-internal maps are
+	// keyed on (same equivalence classes as Pattern.Canonical, a fraction of
+	// the formatting cost). Every boundary that leaves the miner — Result,
+	// MineRelative output, the windows seen map, saved models — still
+	// renders full Canonical() strings; compact keys and the dictionary
+	// behind them never escape. The Coder is serial-only and is touched only
+	// on the single-threaded phases (seeding, admission, result).
+	coder *pattern.Coder
 
-	// tested[w]: (pattern canonical, template) pairs already examined.
-	tested map[string]bool
+	// Frequent patterns with their realization tables, keyed by compact
+	// canonical form (the realization cache the paper mentions).
+	frequent map[string]*ScoredPattern
+	order    []string // compact canonical keys in discovery order
+
+	// tested[w]: (pattern, template) pairs already examined, keyed by
+	// (index into order, index into templateOrder) — both identities are
+	// append-only, so the pair key is stable across generations and costs
+	// no string concatenation per candidate.
+	tested map[[2]int32]bool
+
+	// Comparability matrix over the taxonomy's (sorted, fixed) type list:
+	// cmpMat[i*nTypes+j] == tax.Comparable(types[i], types[j]). Built once
+	// in newMiner and read-only afterwards, so extension jobs on worker
+	// goroutines can consult it without locks instead of walking parent
+	// chains per (variable, template) pair.
+	typeIDs map[taxonomy.Type]int32
+	cmpMat  []bool
+	nTypes  int
 
 	// Incremental graph construction bookkeeping.
 	extractedEntities map[taxonomy.EntityID]bool
@@ -162,15 +184,31 @@ func newMiner(store Store, seeds []taxonomy.EntityID, seedType taxonomy.Type, w 
 		seedSet:           make(map[taxonomy.EntityID]bool, len(seeds)),
 		seedType:          seedType,
 		joinWorkers:       resolveJoinWorkers(cfg.JoinWorkers),
+		partitionMin:      cfg.ProbePartitionMin,
 		templates:         map[pattern.Template]*relational.Table{},
+		coder:             pattern.NewCoder(intern.NewDict()),
 		frequent:          map[string]*ScoredPattern{},
-		tested:            map[string]bool{},
+		tested:            map[[2]int32]bool{},
 		extractedEntities: map[taxonomy.EntityID]bool{},
 		processedTypes:    map[taxonomy.Type]bool{},
 		obs:               cfg.Obs,
 	}
 	for _, s := range seeds {
 		m.seedSet[s] = true
+	}
+	types := m.tax.Types() // sorted — matrix layout is deterministic
+	m.nTypes = len(types)
+	m.typeIDs = make(map[taxonomy.Type]int32, len(types))
+	for i, t := range types {
+		m.typeIDs[t] = int32(i)
+	}
+	m.cmpMat = make([]bool, len(types)*len(types))
+	for i, a := range types {
+		for j, b := range types {
+			if m.tax.Comparable(a, b) {
+				m.cmpMat[i*m.nTypes+j] = true
+			}
+		}
 	}
 	m.engine = m.newEngine()
 	m.obs.Gauge(obs.MiningJoinWorkers).Set(float64(m.joinWorkers))
@@ -266,7 +304,7 @@ func (m *miner) seedSingletons() {
 // admit scores a candidate pattern's realization table and stores it if
 // frequent. It reports whether the pattern was admitted.
 func (m *miner) admit(p pattern.Pattern, realizations *relational.Table) bool {
-	key := p.Canonical()
+	key := m.coder.Key(p)
 	if _, ok := m.frequent[key]; ok {
 		m.obs.Counter(obs.MiningCacheHits).Inc()
 		return false // realization cache hit: already discovered
@@ -410,15 +448,20 @@ func (m *miner) expandOnce() bool {
 	admitted := false
 	for start := 0; start < len(m.order); {
 		frontier := m.order[start:]
+		base := start
 		start = len(m.order)
 		var jobs []extendJob
-		for _, key := range frontier {
+		for fi, key := range frontier {
 			sp := m.frequent[key]
 			if sp.Pattern.Size() >= m.cfg.MaxActions {
 				continue
 			}
-			for _, tmpl := range m.templateOrder {
-				pairKey := key + "⊕" + tmpl.String()
+			// Both m.order and m.templateOrder are append-only, so the
+			// (pattern position, template position) pair identifies a tested
+			// combination forever — no per-candidate key formatting.
+			patIdx := int32(base + fi)
+			for ti, tmpl := range m.templateOrder {
+				pairKey := [2]int32{patIdx, int32(ti)}
 				if m.tested[pairKey] {
 					continue
 				}
@@ -463,9 +506,14 @@ func (m *miner) extendWith(eng *relational.Engine, sp *ScoredPattern, tmpl patte
 		spec.EqL = append(spec.EqL, int(ext.DstVar))
 		spec.EqR = append(spec.EqR, 1)
 	} else {
-		for _, v := range sp.Pattern.CollidableVars(m.tax, tmpl.DstType, -1) {
-			spec.NeqL = append(spec.NeqL, int(v))
-			spec.NeqR = append(spec.NeqR, 1)
+		// CollidableVars(m.tax, tmpl.DstType, -1) inlined over the
+		// precomputed comparability matrix: same ascending variable order,
+		// no parent-chain walks on the worker hot path.
+		for i, vt := range sp.Pattern.Vars {
+			if m.typesComparable(vt, tmpl.DstType) {
+				spec.NeqL = append(spec.NeqL, i)
+				spec.NeqR = append(spec.NeqR, 1)
+			}
 		}
 	}
 	for i := 0; i < l.Arity(); i++ {
@@ -474,13 +522,28 @@ func (m *miner) extendWith(eng *relational.Engine, sp *ScoredPattern, tmpl patte
 	if ext.NewVar {
 		spec.ROut = []int{1}
 	}
-	out := eng.Join(l, r, spec)
+	joined := eng.Join(l, r, spec)
 	if ext.NewVar {
-		out.SetColumnName(out.Arity()-1, pattern.VarName(ext.DstVar))
+		joined.SetColumnName(joined.Arity()-1, pattern.VarName(ext.DstVar))
 	}
-	out = out.Dedup()
+	out := joined.Dedup()
+	// The deduped table owns fresh columns; the join output's buffers go
+	// back to the engine arena for the next job on this worker.
+	eng.Release(joined)
 	m.obs.Counter(obs.MiningExtendJoins).Inc()
 	return out
+}
+
+// typesComparable is tax.Comparable answered from the precomputed matrix;
+// types outside the taxonomy (never produced by templates, but possible in
+// hand-built patterns) fall back to the live check.
+func (m *miner) typesComparable(a, b taxonomy.Type) bool {
+	ai, aok := m.typeIDs[a]
+	bi, bok := m.typeIDs[b]
+	if aok && bok {
+		return m.cmpMat[int(ai)*m.nTypes+int(bi)]
+	}
+	return m.tax.Comparable(a, b)
 }
 
 func (m *miner) result() *Result {
@@ -501,11 +564,28 @@ func (m *miner) result() *Result {
 	}
 	// Line 16: keep the most specific patterns.
 	for _, p := range pattern.MostSpecific(all, m.tax) {
-		if sp, ok := m.frequent[p.Canonical()]; ok {
+		if sp, ok := m.frequent[m.coder.Key(p)]; ok {
 			res.Patterns = append(res.Patterns, *sp)
 		}
 	}
 	sortScored(res.Patterns)
 	sortScored(res.AllFrequent)
+	dict := m.coder.Dict()
+	m.obs.Gauge(obs.MiningDictEntries).Set(float64(dict.Len()))
+	m.obs.Gauge(obs.MiningDictBytes).Set(float64(dict.Bytes()))
+	m.flushArenaMetrics(&m.engine)
 	return res
+}
+
+// flushArenaMetrics exports an engine arena's buffer-traffic counters. The
+// pool calls it once per worker engine at batch teardown and result() calls
+// it for the serial engine; the counters are cumulative per arena, so each
+// arena must be flushed exactly once.
+func (m *miner) flushArenaMetrics(eng *relational.Engine) {
+	if eng.Arena == nil {
+		return
+	}
+	am := eng.Arena.Metrics()
+	m.obs.Counter(obs.RelationalArenaColumns).Add(am.Gets)
+	m.obs.Counter(obs.RelationalArenaReuses).Add(am.Reuses)
 }

@@ -54,13 +54,17 @@ func resolveJoinWorkers(n int) int {
 }
 
 // newEngine builds a join engine for one worker: the configured strategy
-// (the planner by default), partitioned probes sized to the pool, and the
-// shared atomic metrics registry.
+// (the planner by default), partitioned probes sized to the pool, a private
+// column arena for join-output buffers, the shared atomic metrics registry,
+// and the physical-join implementation override (nil = columnar) the
+// difftest suite uses to replay pipelines on the row-oriented reference.
 func (m *miner) newEngine() relational.Engine {
 	return relational.Engine{
 		Strategy:          m.cfg.Strategy,
 		Parallelism:       m.joinWorkers,
 		ProbePartitionMin: m.partitionMin,
+		Arena:             &relational.Arena{},
+		Impl:              m.cfg.JoinBackend,
 		Obs:               m.obs,
 	}
 }
@@ -114,6 +118,7 @@ func (m *miner) runExtendJobs(jobs []extendJob) []jobResult {
 			go func(w int) {
 				defer wg.Done()
 				eng := m.newEngine()
+				defer m.flushArenaMetrics(&eng)
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(jobs) {

@@ -86,8 +86,10 @@ func mineRelativeOne(ctx context.Context, store Store, base *Result, sp ScoredPa
 		m.extractAll()
 	}
 	// Seed the expansion with p itself rather than singletons; grow() will
-	// pull the histories of the types p mentions before extending it.
-	key := sp.Pattern.Canonical()
+	// pull the histories of the types p mentions before extending it. The
+	// seed key is the miner-internal compact form — only the MineRelative
+	// output map renders full Canonical() strings.
+	key := m.coder.Key(sp.Pattern)
 	m.frequent[key] = &ScoredPattern{
 		Pattern:      sp.Pattern,
 		Frequency:    sp.Frequency,
@@ -109,7 +111,7 @@ func mineRelativeOne(ctx context.Context, store Store, base *Result, sp ScoredPa
 	var out []RelativePattern
 	tax := store.Registry().Taxonomy()
 	for _, p := range pattern.MostSpecific(all, tax) {
-		got := m.frequent[p.Canonical()]
+		got := m.frequent[m.coder.Key(p)]
 		if got == nil {
 			continue
 		}

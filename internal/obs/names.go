@@ -29,6 +29,20 @@ const (
 	RelationalPlannerDecisions  = "wiclean_relational_planner_decisions_total"
 	RelationalPartitionedProbes = "wiclean_relational_partitioned_probes_total"
 
+	// Columnar engine: interned single-key probes (hash joins whose key is
+	// a dictionary ID, probed by exact value instead of FNV fold) and the
+	// candidate pairs they surfaced; arena columns report buffer traffic of
+	// the join-output arena (reuses = requests served without allocating).
+	RelationalInternedProbes    = "wiclean_relational_interned_probes_total"
+	RelationalInternedProbeHits = "wiclean_relational_interned_probe_hits_total"
+	RelationalArenaColumns      = "wiclean_relational_arena_columns_total"
+	RelationalArenaReuses       = "wiclean_relational_arena_reuses_total"
+
+	// Interning dictionaries (internal/intern): distinct strings and
+	// payload bytes of the per-miner dictionaries, set at result boundary.
+	MiningDictEntries = "wiclean_mining_dict_entries"
+	MiningDictBytes   = "wiclean_mining_dict_bytes"
+
 	// Revision-history source layer (internal/source): the on-demand
 	// type-history fetch path of §4's Optimization (b) and its resilience
 	// stack. Fetches/errors/latency count logical fetches (cache misses,

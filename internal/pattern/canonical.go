@@ -24,34 +24,14 @@ func (p Pattern) Canonical() string {
 	if n == 0 {
 		return "[]"
 	}
-	// Group variables (excluding the pinned source) by type.
-	groups := map[string][]int{}
-	for i := 1; i < n; i++ {
-		k := string(p.Vars[i])
-		groups[k] = append(groups[k], i)
-	}
-	// Count permutations; cap to keep worst cases bounded.
-	perms := 1
-	for _, g := range groups {
-		f := 1
-		for i := 2; i <= len(g); i++ {
-			f *= i
-		}
-		perms *= f
-		if perms > 50000 {
-			return p.greedyKey()
-		}
+	keys, groups, exploded := p.permGroups()
+	if exploded {
+		return "~" + p.serializeWith(p.greedyRelabel())
 	}
 
 	best := ""
 	relabel := make([]VarID, n)
 	relabel[0] = 0
-
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 
 	// Assign each type group a canonical label range (groups ordered by
 	// type name, labels 1..n-1 in sequence). Labels must not depend on
@@ -89,6 +69,39 @@ func (p Pattern) Canonical() string {
 	return best
 }
 
+// permGroups groups the non-source variables by type (key = sorted type
+// names) and reports whether enumerating every per-group permutation would
+// exceed the 50000 safety cap. Canonical and Coder.Key share it so both
+// keyings fall back to the greedy labeling on exactly the same patterns —
+// the per-pattern decision must agree or the two keys could partition a
+// single isomorphism class differently.
+func (p Pattern) permGroups() (keys []string, groups map[string][]int, exploded bool) {
+	groups = map[string][]int{}
+	for i := 1; i < len(p.Vars); i++ {
+		k := string(p.Vars[i])
+		groups[k] = append(groups[k], i)
+	}
+	// Count permutations; cap to keep worst cases bounded. The product only
+	// grows, so the early exit fires independently of map iteration order.
+	perms := 1
+	for _, g := range groups {
+		f := 1
+		for i := 2; i <= len(g); i++ {
+			f *= i
+		}
+		perms *= f
+		if perms > 50000 {
+			return nil, nil, true
+		}
+	}
+	keys = make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, groups, false
+}
+
 // serializeWith renders the pattern with variables renamed via relabel and
 // actions sorted, producing a comparable serialization.
 func (p Pattern) serializeWith(relabel []VarID) string {
@@ -101,9 +114,10 @@ func (p Pattern) serializeWith(relabel []VarID) string {
 	return strings.Join(lines, ";")
 }
 
-// greedyKey is a deterministic fallback labeling by (type, degree
-// signature) refinement; ties broken by original index.
-func (p Pattern) greedyKey() string {
+// greedyRelabel is the deterministic fallback labeling by (type, degree
+// signature) refinement; ties broken by original index. Both the string and
+// the compact greedy keys serialize under this relabeling.
+func (p Pattern) greedyRelabel() []VarID {
 	n := len(p.Vars)
 	sig := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -129,7 +143,7 @@ func (p Pattern) greedyKey() string {
 	for rank, orig := range order {
 		relabel[orig] = VarID(rank)
 	}
-	return "~" + p.serializeWith(relabel)
+	return relabel
 }
 
 // permute calls f with every permutation of a copy of xs. The slice passed

@@ -1,0 +1,174 @@
+package pattern
+
+import (
+	"bytes"
+
+	"wiclean/internal/action"
+	"wiclean/internal/intern"
+)
+
+// Coder produces compact canonical keys: the same equivalence classes as
+// Pattern.Canonical — two patterns get equal keys iff their Canonical
+// strings are equal — but encoded as uvarint dictionary IDs instead of
+// fmt.Sprintf lines, so the miner's admit/frequent/tested hot path stops
+// paying for string formatting of type and label names on every candidate.
+//
+// Equivalence with Canonical holds by construction: Key minimizes over
+// exactly the permutation set Canonical enumerates (shared permGroups, same
+// per-group label ranges, same 50000-permutation cap with the same
+// greedyRelabel fallback), and both serializations are injective functions
+// of the relabeled action multiset — Canonical's parseable "op|type:n|…"
+// lines, Key's self-delimiting byte records sorted and concatenated. Two
+// minima over the same set of multisets, each under an injective encoding,
+// induce the same partition even though the argmin representative may
+// differ between the orderings.
+//
+// A Coder interns lazily into its dictionary and keeps per-call scratch
+// buffers, so it is NOT goroutine-safe. The miner calls it only from serial
+// phases (seeding, admit/merge, result, relative seeding), never from join
+// workers; the resulting dictionary contents are a function of the
+// deterministic admission order alone.
+type Coder struct {
+	dict *intern.Dict
+
+	// Per-call scratch, reused across Key calls to keep the hot path at one
+	// allocation (the final string copy).
+	acts    []codedAction
+	lines   [][]byte
+	relabel []VarID
+	cur     []byte
+	best    []byte
+}
+
+// codedAction caches an action's vocabulary IDs, resolved once per Key
+// call; only the relabel numbers change across permutations.
+type codedAction struct {
+	op                        byte
+	srcType, labelID, dstType uint32
+	src, dst                  VarID
+}
+
+// NewCoder returns a Coder writing into dict; a nil dict gets a fresh one.
+func NewCoder(dict *intern.Dict) *Coder {
+	if dict == nil {
+		dict = intern.NewDict()
+	}
+	return &Coder{dict: dict}
+}
+
+// Dict exposes the backing dictionary (for size gauges).
+func (c *Coder) Dict() *intern.Dict { return c.dict }
+
+// opByte mirrors action.Op.String's one-byte rendering.
+func opByte(op action.Op) byte {
+	switch op {
+	case action.Add:
+		return '+'
+	case action.Remove:
+		return '-'
+	}
+	return '?'
+}
+
+// Key returns the compact canonical key of p. Keys from the exact
+// minimization start with an op byte ('+', '-' or '?'); greedy-fallback
+// keys carry the same '~' prefix as Canonical's, so the two key kinds can
+// never collide. The empty pattern keys as "[]", which no action record
+// can produce either.
+func (c *Coder) Key(p Pattern) string {
+	n := len(p.Vars)
+	if n == 0 {
+		return "[]"
+	}
+	if cap(c.acts) < len(p.Actions) {
+		c.acts = make([]codedAction, len(p.Actions))
+		c.lines = make([][]byte, len(p.Actions))
+	}
+	c.acts = c.acts[:len(p.Actions)]
+	c.lines = c.lines[:len(p.Actions)]
+	for i, a := range p.Actions {
+		c.acts[i] = codedAction{
+			op:      opByte(a.Op),
+			srcType: c.dict.Intern(string(p.Vars[a.Src])),
+			labelID: c.dict.Intern(string(a.Label)),
+			dstType: c.dict.Intern(string(p.Vars[a.Dst])),
+			src:     a.Src,
+			dst:     a.Dst,
+		}
+	}
+
+	keys, groups, exploded := p.permGroups()
+	if exploded {
+		c.cur = c.serializeInto(c.cur[:0], p.greedyRelabel())
+		return "~" + string(c.cur)
+	}
+
+	if cap(c.relabel) < n {
+		c.relabel = make([]VarID, n)
+	}
+	relabel := c.relabel[:n]
+	relabel[0] = 0
+
+	// Same label ranges as Canonical: groups ordered by type name, labels
+	// 1..n-1 in sequence.
+	groupBase := make([]int, len(keys))
+	next := 1
+	for i, k := range keys {
+		groupBase[i] = next
+		next += len(groups[k])
+	}
+
+	c.best = c.best[:0]
+	first := true
+	var rec func(gi int)
+	rec = func(gi int) {
+		if gi == len(keys) {
+			c.cur = c.serializeInto(c.cur[:0], relabel)
+			if first || bytes.Compare(c.cur, c.best) < 0 {
+				c.best = append(c.best[:0], c.cur...)
+				first = false
+			}
+			return
+		}
+		g := groups[keys[gi]]
+		base := groupBase[gi]
+		permute(g, func(perm []int) {
+			for j, orig := range perm {
+				relabel[orig] = VarID(base + j)
+			}
+			rec(gi + 1)
+		})
+	}
+	rec(0)
+	return string(c.best)
+}
+
+// serializeInto appends the compact serialization of the cached actions
+// under relabel: one self-delimiting record per action (op byte, then
+// uvarints for source type ID, source label number, edge label ID, dst type
+// ID, dst label number), records byte-sorted and concatenated. Sorting a
+// sequence of self-delimiting records keeps the encoding injective in the
+// action multiset without needing separators.
+func (c *Coder) serializeInto(dst []byte, relabel []VarID) []byte {
+	for i, a := range c.acts {
+		line := c.lines[i][:0]
+		line = append(line, a.op)
+		line = intern.AppendID(line, a.srcType)
+		line = intern.AppendID(line, uint32(relabel[a.src]))
+		line = intern.AppendID(line, a.labelID)
+		line = intern.AppendID(line, a.dstType)
+		line = intern.AppendID(line, uint32(relabel[a.dst]))
+		c.lines[i] = line
+	}
+	// Insertion sort: patterns hold a handful of actions, and sort.Slice's
+	// closure setup would dominate at this size.
+	for i := 1; i < len(c.lines); i++ {
+		for j := i; j > 0 && bytes.Compare(c.lines[j], c.lines[j-1]) < 0; j-- {
+			c.lines[j], c.lines[j-1] = c.lines[j-1], c.lines[j]
+		}
+	}
+	for _, line := range c.lines {
+		dst = append(dst, line...)
+	}
+	return dst
+}

@@ -1,0 +1,211 @@
+package pattern
+
+import (
+	"testing"
+
+	"wiclean/internal/action"
+	"wiclean/internal/intern"
+	"wiclean/internal/taxonomy"
+)
+
+// lcg is a tiny deterministic generator for the property sweeps — no
+// math/rand, so the package stays trivially inside the determinism lint's
+// comfort zone and failures replay exactly.
+type lcg struct{ s uint64 }
+
+func (l *lcg) next(n int) int {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return int((l.s >> 33) % uint64(n))
+}
+
+// randomPattern builds a valid connected-ish pattern over the given type
+// and label vocabulary: every variable beyond the source is introduced as
+// the destination of some action, so Validate holds.
+func randomPattern(r *lcg, types []taxonomy.Type, labels []action.Label, maxVars, extraActions int) Pattern {
+	nVars := 2 + r.next(maxVars-1)
+	p := Pattern{Vars: make([]taxonomy.Type, nVars)}
+	for i := range p.Vars {
+		p.Vars[i] = types[r.next(len(types))]
+	}
+	ops := []action.Op{action.Add, action.Remove}
+	// One incoming action per non-source variable keeps everything used.
+	for v := 1; v < nVars; v++ {
+		p.Actions = append(p.Actions, AbstractAction{
+			Op:    ops[r.next(2)],
+			Src:   VarID(r.next(v)),
+			Label: labels[r.next(len(labels))],
+			Dst:   VarID(v),
+		})
+	}
+	for i := 0; i < r.next(extraActions+1); i++ {
+		a := AbstractAction{
+			Op:    ops[r.next(2)],
+			Src:   VarID(r.next(nVars)),
+			Label: labels[r.next(len(labels))],
+			Dst:   VarID(r.next(nVars)),
+		}
+		if !p.HasAction(a) {
+			p.Actions = append(p.Actions, a)
+		}
+	}
+	return p
+}
+
+// permuteVars returns an isomorphic copy of p with the non-source variables
+// renamed by a pseudo-random permutation (actions re-pointed accordingly,
+// action order shuffled too).
+func permuteVars(r *lcg, p Pattern) Pattern {
+	n := len(p.Vars)
+	perm := make([]VarID, n)
+	for i := range perm {
+		perm[i] = VarID(i)
+	}
+	for i := n - 1; i > 1; i-- {
+		j := 1 + r.next(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	q := Pattern{Vars: make([]taxonomy.Type, n)}
+	for i, t := range p.Vars {
+		q.Vars[perm[i]] = t
+	}
+	for _, a := range p.Actions {
+		q.Actions = append(q.Actions, AbstractAction{
+			Op: a.Op, Src: perm[a.Src], Label: a.Label, Dst: perm[a.Dst],
+		})
+	}
+	for i := len(q.Actions) - 1; i > 0; i-- {
+		j := r.next(i + 1)
+		q.Actions[i], q.Actions[j] = q.Actions[j], q.Actions[i]
+	}
+	return q
+}
+
+var (
+	testTypes  = []taxonomy.Type{"Player", "Club", "League", "Person"}
+	testLabels = []action.Label{"member_of", "plays_for", "born_in"}
+)
+
+// TestCoderKeyMatchesCanonicalClasses is the core equivalence property: on
+// a large pseudo-random pattern population, two patterns get the same
+// compact key iff they get the same Canonical string. Checked pairwise over
+// the pooled population plus explicitly-constructed isomorphic pairs.
+func TestCoderKeyMatchesCanonicalClasses(t *testing.T) {
+	r := &lcg{s: 42}
+	c := NewCoder(intern.NewDict())
+	type keyed struct {
+		canon, compact string
+	}
+	var pop []keyed
+	add := func(p Pattern) {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generator produced invalid pattern: %v", err)
+		}
+		pop = append(pop, keyed{canon: p.Canonical(), compact: c.Key(p)})
+	}
+	for i := 0; i < 300; i++ {
+		p := randomPattern(r, testTypes, testLabels, 5, 3)
+		add(p)
+		add(permuteVars(r, p)) // guaranteed isomorph in the population
+	}
+	for i := range pop {
+		for j := i + 1; j < len(pop); j++ {
+			sameCanon := pop[i].canon == pop[j].canon
+			sameCompact := pop[i].compact == pop[j].compact
+			if sameCanon != sameCompact {
+				t.Fatalf("key partitions disagree: canon equal=%v compact equal=%v\ncanon i: %q\ncanon j: %q",
+					sameCanon, sameCompact, pop[i].canon, pop[j].canon)
+			}
+		}
+	}
+}
+
+// TestCoderKeyIsomorphInvariance hammers the direct property: a pattern and
+// any variable-permuted copy produce identical compact keys.
+func TestCoderKeyIsomorphInvariance(t *testing.T) {
+	r := &lcg{s: 7}
+	c := NewCoder(nil)
+	for i := 0; i < 500; i++ {
+		p := randomPattern(r, testTypes, testLabels, 6, 4)
+		q := permuteVars(r, p)
+		if c.Key(p) != c.Key(q) {
+			t.Fatalf("iteration %d: isomorphic patterns keyed apart\np: %s\nq: %s", i, p, q)
+		}
+	}
+}
+
+// TestCoderKeyStableAcrossCoders asserts the key is independent of the
+// dictionary's interning history: a coder that has interned other
+// vocabulary first still produces the same key bytes-for-bytes? It does
+// NOT — IDs differ by history — so keys must only ever be compared within
+// one coder. What IS guaranteed, and checked here, is that each coder
+// partitions patterns identically regardless of history.
+func TestCoderKeyStableAcrossCoders(t *testing.T) {
+	r := &lcg{s: 99}
+	fresh := NewCoder(nil)
+	warmed := NewCoder(intern.NewDict("Zebra", "Aardvark", "member_of", "Club"))
+	for i := 0; i < 200; i++ {
+		p := randomPattern(r, testTypes, testLabels, 5, 3)
+		q := permuteVars(r, p)
+		x := randomPattern(r, testTypes, testLabels, 5, 3)
+		if (fresh.Key(p) == fresh.Key(x)) != (warmed.Key(p) == warmed.Key(x)) {
+			t.Fatalf("iteration %d: coders partition (p, x) differently", i)
+		}
+		if fresh.Key(p) != fresh.Key(q) || warmed.Key(p) != warmed.Key(q) {
+			t.Fatalf("iteration %d: isomorphs keyed apart under some history", i)
+		}
+	}
+}
+
+// TestCoderGreedyFallbackAgreement drives both keyings through the
+// >50000-permutation cap (nine same-type fresh variables = 9! = 362880
+// permutations) and checks they fall back together and still agree on the
+// class structure.
+func TestCoderGreedyFallbackAgreement(t *testing.T) {
+	c := NewCoder(nil)
+	star := func(labels []action.Label) Pattern {
+		p := Pattern{Vars: []taxonomy.Type{"Player"}}
+		for v := 1; v <= 9; v++ {
+			p.Vars = append(p.Vars, "Club")
+			p.Actions = append(p.Actions, AbstractAction{
+				Op: action.Add, Src: 0, Label: labels[(v-1)%len(labels)], Dst: VarID(v),
+			})
+		}
+		return p
+	}
+	p := star([]action.Label{"a", "b", "c"})
+	q := star([]action.Label{"a", "b", "c"})
+	canon := p.Canonical()
+	if canon[0] != '~' {
+		t.Fatalf("expected greedy fallback canonical key, got %q", canon)
+	}
+	kp, kq := c.Key(p), c.Key(q)
+	if kp[0] != '~' {
+		t.Fatalf("compact key did not take the greedy fallback: %q", kp)
+	}
+	if kp != kq {
+		t.Fatalf("identical greedy patterns keyed apart")
+	}
+	// A distinct pattern must key apart in both schemes.
+	d := star([]action.Label{"a", "b", "z"})
+	if (d.Canonical() == canon) != (c.Key(d) == kp) {
+		t.Fatalf("greedy keyings partition differently")
+	}
+}
+
+// TestCoderEmptyAndDegenerate covers the sentinel cases: the empty pattern
+// and single-action patterns.
+func TestCoderEmptyAndDegenerate(t *testing.T) {
+	c := NewCoder(nil)
+	if got := c.Key(Pattern{}); got != "[]" {
+		t.Fatalf("empty pattern key = %q, want %q", got, "[]")
+	}
+	s1 := Singleton(action.Add, "Player", "plays_for", "Club")
+	s2 := Singleton(action.Add, "Player", "plays_for", "Club")
+	s3 := Singleton(action.Remove, "Player", "plays_for", "Club")
+	if c.Key(s1) != c.Key(s2) {
+		t.Fatalf("identical singletons keyed apart")
+	}
+	if c.Key(s1) == c.Key(s3) {
+		t.Fatalf("+/− singletons keyed together")
+	}
+}

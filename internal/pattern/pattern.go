@@ -98,9 +98,22 @@ func (p Pattern) HasAction(a AbstractAction) bool {
 	return false
 }
 
+// varNames caches the column names of the first variables; patterns rarely
+// hold more (MaxActions bounds them), and extension jobs ask for the name
+// of every fresh variable on the hot path.
+var varNames = [...]string{
+	"v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7",
+	"v8", "v9", "v10", "v11", "v12", "v13", "v14", "v15",
+}
+
 // VarName returns the relational column name for variable v, e.g. "v0".
 // Realization tables use these as attribute names.
-func VarName(v VarID) string { return fmt.Sprintf("v%d", v) }
+func VarName(v VarID) string {
+	if v >= 0 && int(v) < len(varNames) {
+		return varNames[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
 
 // VarNames returns the column names for all variables, in order.
 func (p Pattern) VarNames() []string {

@@ -1,0 +1,83 @@
+package relational
+
+// Arena recycles the column buffers of join outputs. The extend loop of
+// Algorithm 1 produces one short-lived joined table per candidate — alive
+// only until Dedup compacts it — so without recycling the mining phase
+// malloc-thrashes on buffers of near-identical size. An Engine with an
+// Arena attached draws its output columns from the free list and the miner
+// returns them with Engine.Release once the joined table has been
+// compacted; steady-state extension then allocates nothing per join.
+//
+// An Arena is NOT safe for concurrent use: like Stats, it belongs to
+// exactly one Engine, and the parallel miner gives each worker its own
+// engine+arena pair. Arena counters are deliberately kept OUT of Stats —
+// reuse depends on job scheduling, and Stats must stay a pure function of
+// the joined tables — so they surface only through obs (ArenaMetrics),
+// never through mining.Result.
+type Arena struct {
+	free [][]Value
+
+	gets   int64 // column buffers requested
+	reuses int64 // requests served from the free list
+	puts   int64 // column buffers returned
+}
+
+// maxArenaCols bounds the free list; beyond it Release drops buffers on
+// the floor rather than holding peak-size memory forever.
+const maxArenaCols = 256
+
+// getCol returns a zero-length column buffer, reusing a released one when
+// available. A nil arena degrades to plain allocation.
+func (a *Arena) getCol() []Value {
+	if a == nil {
+		return nil
+	}
+	a.gets++
+	if n := len(a.free); n > 0 {
+		c := a.free[n-1]
+		a.free = a.free[:n-1]
+		a.reuses++
+		return c[:0]
+	}
+	return nil
+}
+
+// putCol returns a column buffer to the free list.
+func (a *Arena) putCol(c []Value) {
+	if a == nil || cap(c) == 0 || len(a.free) >= maxArenaCols {
+		return
+	}
+	a.puts++
+	a.free = append(a.free, c)
+}
+
+// ArenaMetrics is a point-in-time snapshot of an arena's reuse counters,
+// merged into the obs registry by the mining pool (never into Stats).
+type ArenaMetrics struct {
+	Gets   int64
+	Reuses int64
+	Puts   int64
+}
+
+// Metrics snapshots the arena counters; nil-safe.
+func (a *Arena) Metrics() ArenaMetrics {
+	if a == nil {
+		return ArenaMetrics{}
+	}
+	return ArenaMetrics{Gets: a.gets, Reuses: a.reuses, Puts: a.puts}
+}
+
+// Release returns t's column storage to the engine's arena and empties t.
+// Only call it on tables the engine produced (join outputs) once no one
+// holds a reference — in the miner, on the raw joined table right after
+// Dedup has copied the surviving rows out. No-op without an arena.
+func (e *Engine) Release(t *Table) {
+	if e.Arena == nil || t == nil {
+		return
+	}
+	for c := range t.data {
+		e.Arena.putCol(t.data[c])
+		t.data[c] = nil
+	}
+	t.n = 0
+}

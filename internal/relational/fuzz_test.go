@@ -26,6 +26,13 @@ func (b *byteReader) next() byte {
 // decoded with a deliberate off-by-one range (-1 .. 4) so the fuzzer can
 // reach out-of-range and mismatched specs — JoinSpec.Validate, not the
 // decoder, is the guard under test.
+//
+// Since the columnar rewrite, cells can also decode in "interned" mode:
+// values shaped like dictionary IDs — dense duplicated low IDs mixed with
+// IDs crossing the 16-bit boundary (the width the interning dictionary's
+// uvarint encoding grows past) — which drives the single-equality hash
+// joins through the interned exact-key probe with adversarially colliding
+// and duplicated keys, differentially against the other strategies.
 func decodeFuzzCase(data []byte) (l, r *Table, spec JoinSpec) {
 	b := &byteReader{data: data}
 	decodeTable := func(prefix string) *Table {
@@ -36,11 +43,18 @@ func decodeFuzzCase(data []byte) (l, r *Table, spec JoinSpec) {
 		}
 		t := NewTable(cols...)
 		rows := int(b.next() % 32)
+		interned := b.next()%4 == 0
 		domain := 1 + int(b.next()%6)
 		for i := 0; i < rows; i++ {
 			row := make(Row, arity)
 			for j := range row {
-				row[j] = Value(int(b.next())%(domain+1)) - 1 // -1 is Null
+				if interned {
+					// 17-bit IDs: Null, dense duplicates and >64k values in
+					// one distribution.
+					row[j] = Value(int(b.next())<<9|int(b.next())) - 1
+				} else {
+					row[j] = Value(int(b.next())%(domain+1)) - 1 // -1 is Null
+				}
 			}
 			t.Append(row)
 		}
@@ -68,12 +82,26 @@ func decodeFuzzCase(data []byte) (l, r *Table, spec JoinSpec) {
 
 // fuzzSeeds feeds the corpus: a handful of fixed-seed random byte strings
 // (the same distribution the property-test generator explores) plus
-// hand-picked shapes — empty input, a cross join, and an input long enough
-// to decode out-of-range spec indexes.
+// hand-picked shapes — empty input, a cross join, an input long enough to
+// decode out-of-range spec indexes, and dictionary-shaped cases (the
+// on-disk testdata corpus pins more of those: duplicates, all-identical
+// keys, and IDs past the 16-bit boundary through the interned probe).
 func fuzzSeeds(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 4, 3, 0, 1, 2, 3, 4, 5, 6, 7, 1, 4, 3, 7, 6, 5, 4, 3, 2, 1, 0, 1, 0, 0, 1, 0, 1, 1})
 	f.Add([]byte{2, 8, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 2, 8, 2, 2, 1, 0, 2, 1, 0, 3, 5, 5, 5, 5, 5, 5, 3, 5, 5, 5})
+	// Interned mode on both sides (mode byte ≡ 0 mod 4): one-column tables
+	// of 17-bit IDs joined on a single equality — the interned-probe shape.
+	wide := []byte{0, 8, 0, 1}
+	for i := 0; i < 8; i++ {
+		wide = append(wide, byte(i*37), byte(i*11)) // high, low ID bytes
+	}
+	wide = append(wide, 0, 8, 0, 1)
+	for i := 0; i < 8; i++ {
+		wide = append(wide, byte(i*37), byte(i*11))
+	}
+	wide = append(wide, 1, 1, 1, 0, 1, 1, 1, 1) // EqL=[0] EqR=[0], LOut=[0], ROut=[0]
+	f.Add(wide)
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 8; i++ {
 		buf := make([]byte, 8+rng.Intn(120))

@@ -85,7 +85,8 @@ func (s JoinSpec) emit(lr, rr Row) Row {
 	return out
 }
 
-// matches evaluates the residual inequality predicates.
+// neqOK evaluates the residual inequality predicates on materialized rows
+// (outer-join path; the inner-join loops use the columnar neqOKAt).
 func (s JoinSpec) neqOK(lr, rr Row) bool {
 	for k := range s.NeqL {
 		lv, rv := lr[s.NeqL[k]], rr[s.NeqR[k]]
@@ -96,7 +97,7 @@ func (s JoinSpec) neqOK(lr, rr Row) bool {
 	return true
 }
 
-// eqOK evaluates the equality predicates directly (nested-loop path).
+// eqOK evaluates the equality predicates directly on materialized rows.
 func (s JoinSpec) eqOK(lr, rr Row) bool {
 	for k := range s.EqL {
 		lv, rv := lr[s.EqL[k]], rr[s.EqR[k]]
@@ -107,11 +108,32 @@ func (s JoinSpec) eqOK(lr, rr Row) bool {
 	return true
 }
 
-// hashKey folds the join-key columns into an FNV-1a hash. Collisions are
-// possible, so probes must re-verify equality with eqOK; null keys report
-// false (they can never match). Avoiding string keys keeps the build side
-// allocation-free — the joins here run on many small realization tables,
-// where per-row formatting would dominate.
+// neqOKAt is neqOK against table storage: row li of l vs row ri of r,
+// touching only the predicate columns.
+func (s JoinSpec) neqOKAt(l, r *Table, li, ri int) bool {
+	for k := range s.NeqL {
+		lv, rv := l.data[s.NeqL[k]][li], r.data[s.NeqR[k]][ri]
+		if !lv.IsNull() && !rv.IsNull() && lv == rv {
+			return false
+		}
+	}
+	return true
+}
+
+// eqOKAt is eqOK against table storage.
+func (s JoinSpec) eqOKAt(l, r *Table, li, ri int) bool {
+	for k := range s.EqL {
+		lv, rv := l.data[s.EqL[k]][li], r.data[s.EqR[k]][ri]
+		if lv.IsNull() || rv.IsNull() || lv != rv {
+			return false
+		}
+	}
+	return true
+}
+
+// hashKey folds a materialized row's join-key columns into an FNV-1a hash
+// (outer-join path). Collisions are possible, so probes must re-verify
+// equality; null keys report false (they can never match).
 func hashKey(r Row, idx []int) (uint64, bool) {
 	const (
 		offset64 = 14695981039346656037
@@ -120,6 +142,29 @@ func hashKey(r Row, idx []int) (uint64, bool) {
 	h := uint64(offset64)
 	for _, i := range idx {
 		v := r[i]
+		if v.IsNull() {
+			return 0, false
+		}
+		u := uint32(v)
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(u >> shift))
+			h *= prime64
+		}
+	}
+	return h, true
+}
+
+// hashKeyAt is hashKey against table storage — same FNV-1a fold, so bucket
+// populations (and the Comparisons they induce) are identical to the row
+// reference engine's.
+func hashKeyAt(t *Table, row int, idx []int) (uint64, bool) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, i := range idx {
+		v := t.data[i][row]
 		if v.IsNull() {
 			return 0, false
 		}
@@ -161,13 +206,24 @@ func (s Strategy) String() string {
 // Stats accumulates the work an Engine performed, for the running-time
 // ablations (rows compared is the honest cost proxy across strategies).
 // Every field is a pure function of the joined tables and specs — never of
-// wall clock or worker count — so per-worker Stats merge to the same totals
-// no matter how the joins were scheduled.
+// wall clock, worker count or arena state — so per-worker Stats merge to
+// the same totals no matter how the joins were scheduled. (Arena reuse is
+// scheduling-dependent and therefore lives in ArenaMetrics, not here.)
 type Stats struct {
 	Joins       int
 	OuterJoins  int
 	RowsOut     int64
 	Comparisons int64
+
+	// InternedProbes counts hash joins that qualified for the interned
+	// single-key probe (exactly one equality pair, so the dictionary ID is
+	// the hash — no FNV fold, no equality re-verification).
+	// InternedProbeHits counts the candidate pairs those probes surfaced.
+	// The rowref reference engine counts both for the joins that WOULD
+	// qualify, even though it still runs the FNV probe, so the metrics —
+	// and Minus deltas — stay comparable pre/post rewrite.
+	InternedProbes    int
+	InternedProbeHits int64
 
 	// AutoStrategy planner decisions, by chosen physical strategy.
 	PlannedHash      int
@@ -181,6 +237,8 @@ func (s *Stats) Add(o Stats) {
 	s.OuterJoins += o.OuterJoins
 	s.RowsOut += o.RowsOut
 	s.Comparisons += o.Comparisons
+	s.InternedProbes += o.InternedProbes
+	s.InternedProbeHits += o.InternedProbeHits
 	s.PlannedHash += o.PlannedHash
 	s.PlannedSortMerge += o.PlannedSortMerge
 	s.PlannedNested += o.PlannedNested
@@ -188,23 +246,30 @@ func (s *Stats) Add(o Stats) {
 
 // Minus returns s - o fieldwise: the work performed since the snapshot o
 // was taken. The parallel miner uses it to attribute an engine's work to
-// one extension job before merging deltas in deterministic job order.
+// one extension job before merging deltas in deterministic job order, so
+// EVERY Stats field must appear here — dropping one silently corrupts the
+// per-job attribution (the interned-probe counters were exactly such a
+// near-miss; stats_accounting_test.go now closes the class with
+// reflection).
 func (s Stats) Minus(o Stats) Stats {
 	return Stats{
-		Joins:            s.Joins - o.Joins,
-		OuterJoins:       s.OuterJoins - o.OuterJoins,
-		RowsOut:          s.RowsOut - o.RowsOut,
-		Comparisons:      s.Comparisons - o.Comparisons,
-		PlannedHash:      s.PlannedHash - o.PlannedHash,
-		PlannedSortMerge: s.PlannedSortMerge - o.PlannedSortMerge,
-		PlannedNested:    s.PlannedNested - o.PlannedNested,
+		Joins:             s.Joins - o.Joins,
+		OuterJoins:        s.OuterJoins - o.OuterJoins,
+		RowsOut:           s.RowsOut - o.RowsOut,
+		Comparisons:       s.Comparisons - o.Comparisons,
+		InternedProbes:    s.InternedProbes - o.InternedProbes,
+		InternedProbeHits: s.InternedProbeHits - o.InternedProbeHits,
+		PlannedHash:       s.PlannedHash - o.PlannedHash,
+		PlannedSortMerge:  s.PlannedSortMerge - o.PlannedSortMerge,
+		PlannedNested:     s.PlannedNested - o.PlannedNested,
 	}
 }
 
 // Engine executes joins with a chosen strategy and records Stats. The zero
-// value is a hash-join engine. An Engine is NOT safe for concurrent use —
-// Stats updates are plain writes; give each worker its own Engine and merge
-// Stats at a barrier instead of sharing one behind a lock.
+// value is a hash-join engine on the built-in columnar implementation. An
+// Engine is NOT safe for concurrent use — Stats and Arena updates are plain
+// writes; give each worker its own Engine and merge Stats at a barrier
+// instead of sharing one behind a lock.
 type Engine struct {
 	Strategy Strategy
 
@@ -219,9 +284,18 @@ type Engine struct {
 	// tables).
 	ProbePartitionMin int
 
+	// Arena, when set, recycles join-output column buffers (see Arena).
+	Arena *Arena
+
+	// Impl, when set, replaces the built-in columnar join implementations —
+	// the hook the rowref reference engine plugs into so the difftest suite
+	// can run the identical planner/stats/dispatch shell over both physical
+	// engines. Nil means columnar.
+	Impl Impl
+
 	// Obs, when set, receives per-strategy join latency histograms,
-	// planner-decision counters and partitioned-probe counts. Nil costs
-	// nothing (not even the clock reads).
+	// planner-decision counters, partitioned-probe and interned-probe
+	// counts. Nil costs nothing (not even the clock reads).
 	Obs *obs.Registry
 
 	Stats Stats
@@ -247,13 +321,17 @@ func (e *Engine) Join(l, r *Table, spec JoinSpec) *Table {
 		start = time.Now() //wiclean:allow-nondet per-strategy join-latency histogram only; rows are unaffected
 	}
 	var out *Table
-	switch strat {
-	case NestedLoop:
-		out = e.nestedLoopJoin(l, r, spec)
-	case SortMerge:
-		out = e.sortMergeJoin(l, r, spec)
-	default:
-		out = e.hashJoin(l, r, spec)
+	if e.Impl != nil {
+		out = e.Impl.Join(e, l, r, spec, strat)
+	} else {
+		switch strat {
+		case NestedLoop:
+			out = e.nestedLoopJoin(l, r, spec)
+		case SortMerge:
+			out = e.sortMergeJoin(l, r, spec)
+		default:
+			out = e.hashJoin(l, r, spec)
+		}
 	}
 	if e.Obs != nil {
 		dur := time.Since(start) //wiclean:allow-nondet per-strategy join-latency histogram only
@@ -264,81 +342,187 @@ func (e *Engine) Join(l, r *Table, spec JoinSpec) *Table {
 	return out
 }
 
+// colWriter accumulates join output column-wise: emit(li, ri) gathers the
+// projected cells of l row li and r row ri straight from the source
+// columns — no per-row Row allocation anywhere on the hot path.
+type colWriter struct {
+	lSrc, rSrc [][]Value // source columns in output order
+	out        [][]Value
+	n          int
+}
+
+func newColWriter(l, r *Table, spec JoinSpec, a *Arena) *colWriter {
+	w := &colWriter{
+		lSrc: make([][]Value, len(spec.LOut)),
+		rSrc: make([][]Value, len(spec.ROut)),
+		out:  make([][]Value, len(spec.LOut)+len(spec.ROut)),
+	}
+	for k, c := range spec.LOut {
+		w.lSrc[k] = l.data[c]
+	}
+	for k, c := range spec.ROut {
+		w.rSrc[k] = r.data[c]
+	}
+	for k := range w.out {
+		w.out[k] = a.getCol()
+	}
+	return w
+}
+
+func (w *colWriter) emit(li, ri int) {
+	k := 0
+	for _, src := range w.lSrc {
+		w.out[k] = append(w.out[k], src[li])
+		k++
+	}
+	for _, src := range w.rSrc {
+		w.out[k] = append(w.out[k], src[ri])
+		k++
+	}
+	w.n++
+}
+
+// absorb appends another writer's rows (chunk-order stitch of the
+// partitioned probe).
+func (w *colWriter) absorb(o *colWriter) {
+	for k := range w.out {
+		w.out[k] = append(w.out[k], o.out[k]...)
+	}
+	w.n += o.n
+}
+
+func (w *colWriter) table(cols []string) *Table {
+	return &Table{cols: cols, data: w.out, n: w.n}
+}
+
+// probeTally carries the per-chunk Stats contributions of a probe range so
+// partitioned chunks never contend on the engine.
+type probeTally struct {
+	comparisons  int64
+	internedHits int64
+}
+
 func (e *Engine) hashJoin(l, r *Table, spec JoinSpec) *Table {
-	out := NewTable(spec.outSchema(l, r)...)
+	cols := spec.outSchema(l, r)
 	if len(spec.EqL) == 0 {
 		// Degenerate cross join with residual predicates.
-		for _, lr := range l.rows {
-			for _, rr := range r.rows {
+		w := newColWriter(l, r, spec, e.Arena)
+		for li := 0; li < l.n; li++ {
+			for ri := 0; ri < r.n; ri++ {
 				e.Stats.Comparisons++
-				if spec.neqOK(lr, rr) {
-					out.rows = append(out.rows, spec.emit(lr, rr))
+				if spec.neqOKAt(l, r, li, ri) {
+					w.emit(li, ri)
 				}
 			}
 		}
-		return out
+		return w.table(cols)
 	}
-	// Build on the smaller side. Probes re-verify equality because keys
-	// are hashes, not exact encodings.
-	buildLeft := l.Len() <= r.Len()
+	// Build on the smaller side.
+	buildLeft := l.n <= r.n
 	build, probe := l, r
 	buildKeys, probeKeys := spec.EqL, spec.EqR
 	if !buildLeft {
 		build, probe = r, l
 		buildKeys, probeKeys = spec.EqR, spec.EqL
 	}
-	idx := make(map[uint64][]Row, build.Len())
-	for _, br := range build.rows {
-		if k, ok := hashKey(br, buildKeys); ok {
-			idx[k] = append(idx[k], br)
+
+	// probeRange scans probe rows [lo, hi) against the read-only build
+	// index into w — the unit both the serial and the partitioned probe
+	// share, so their outputs are identical by construction.
+	var probeRange func(lo, hi int, w *colWriter, t *probeTally)
+
+	if len(spec.EqL) == 1 {
+		// Interned probe: with a single equality pair the dictionary ID in
+		// the key column IS the key — index rows by exact Value, skip the
+		// FNV fold, and skip eqOK re-verification (exact keys cannot
+		// collide). Candidate counts still match the FNV path whenever FNV
+		// was collision-free, which the difftest suite pins.
+		e.Stats.InternedProbes++
+		if e.Obs != nil {
+			e.Obs.Counter(obs.RelationalInternedProbes).Inc()
 		}
-	}
-	// probeFn scans one run of probe rows against the (read-only) build
-	// index into its own buffer — the unit both the serial and the
-	// partitioned probe share, so their outputs are identical by
-	// construction.
-	probeFn := func(rows []Row, comparisons *int64) []Row {
-		var emitted []Row
-		for _, pr := range rows {
-			k, ok := hashKey(pr, probeKeys)
-			if !ok {
-				continue
-			}
-			for _, br := range idx[k] {
-				lr, rr := br, pr
-				if !buildLeft {
-					lr, rr = pr, br
-				}
-				*comparisons++
-				if spec.eqOK(lr, rr) && spec.neqOK(lr, rr) {
-					emitted = append(emitted, spec.emit(lr, rr))
-				}
+		bk := build.data[buildKeys[0]]
+		idx := make(map[Value][]int32, build.n)
+		for i, v := range bk {
+			if !v.IsNull() {
+				idx[v] = append(idx[v], int32(i))
 			}
 		}
-		return emitted
+		pk := probe.data[probeKeys[0]]
+		probeRange = func(lo, hi int, w *colWriter, t *probeTally) {
+			for pi := lo; pi < hi; pi++ {
+				v := pk[pi]
+				if v.IsNull() {
+					continue
+				}
+				for _, bi := range idx[v] {
+					li, ri := int(bi), pi
+					if !buildLeft {
+						li, ri = pi, int(bi)
+					}
+					t.comparisons++
+					t.internedHits++
+					if spec.neqOKAt(l, r, li, ri) {
+						w.emit(li, ri)
+					}
+				}
+			}
+		}
+	} else {
+		idx := make(map[uint64][]int32, build.n)
+		for i := 0; i < build.n; i++ {
+			if k, ok := hashKeyAt(build, i, buildKeys); ok {
+				idx[k] = append(idx[k], int32(i))
+			}
+		}
+		probeRange = func(lo, hi int, w *colWriter, t *probeTally) {
+			for pi := lo; pi < hi; pi++ {
+				k, ok := hashKeyAt(probe, pi, probeKeys)
+				if !ok {
+					continue
+				}
+				for _, bi := range idx[k] {
+					li, ri := int(bi), pi
+					if !buildLeft {
+						li, ri = pi, int(bi)
+					}
+					t.comparisons++
+					if spec.eqOKAt(l, r, li, ri) && spec.neqOKAt(l, r, li, ri) {
+						w.emit(li, ri)
+					}
+				}
+			}
+		}
 	}
-	if e.Parallelism > 1 && probe.Len() >= e.probePartitionMin() {
-		out.rows = e.partitionedProbe(probe.rows, probeFn)
+
+	var w *colWriter
+	var tally probeTally
+	if e.Parallelism > 1 && probe.n >= e.probePartitionMin() {
+		w, tally = e.partitionedProbe(l, r, spec, probe.n, probeRange)
 		e.Obs.Counter(obs.RelationalPartitionedProbes).Inc()
 	} else {
-		var comparisons int64
-		out.rows = probeFn(probe.rows, &comparisons)
-		e.Stats.Comparisons += comparisons
+		w = newColWriter(l, r, spec, e.Arena)
+		probeRange(0, probe.n, w, &tally)
 	}
-	return out
+	e.Stats.Comparisons += tally.comparisons
+	e.Stats.InternedProbeHits += tally.internedHits
+	if e.Obs != nil && tally.internedHits > 0 {
+		e.Obs.Counter(obs.RelationalInternedProbeHits).Add(tally.internedHits)
+	}
+	return w.table(cols)
 }
 
 func (e *Engine) nestedLoopJoin(l, r *Table, spec JoinSpec) *Table {
-	out := NewTable(spec.outSchema(l, r)...)
-	for _, lr := range l.rows {
-		for _, rr := range r.rows {
+	w := newColWriter(l, r, spec, e.Arena)
+	for li := 0; li < l.n; li++ {
+		for ri := 0; ri < r.n; ri++ {
 			e.Stats.Comparisons++
-			if spec.eqOK(lr, rr) && spec.neqOK(lr, rr) {
-				out.rows = append(out.rows, spec.emit(lr, rr))
+			if spec.eqOKAt(l, r, li, ri) && spec.neqOKAt(l, r, li, ri) {
+				w.emit(li, ri)
 			}
 		}
 	}
-	return out
+	return w.table(spec.outSchema(l, r))
 }
 
 // FullOuterJoin computes the full outer join of l and r under spec — the
@@ -353,33 +537,48 @@ func (e *Engine) nestedLoopJoin(l, r *Table, spec JoinSpec) *Table {
 //
 // The coalescing of shared key columns keeps every known variable
 // assignment visible in the output so the detector can name exactly which
-// action is missing.
+// action is missing. This is the detector's cold path, so it works on
+// materialized rows rather than the columnar fast path.
 func (e *Engine) FullOuterJoin(l, r *Table, spec JoinSpec) *Table {
 	if err := spec.Validate(l, r); err != nil {
 		panic(err)
 	}
 	e.Stats.OuterJoins++
+	var out *Table
+	if e.Impl != nil {
+		out = e.Impl.FullOuterJoin(e, l, r, spec)
+	} else {
+		out = e.fullOuterJoin(l, r, spec)
+	}
+	e.Stats.RowsOut += int64(out.Len())
+	return out
+}
+
+func (e *Engine) fullOuterJoin(l, r *Table, spec JoinSpec) *Table {
 	out := NewTable(spec.outSchema(l, r)...)
 
 	lMatched := make([]bool, l.Len())
 	rMatched := make([]bool, r.Len())
 
-	idx := make(map[uint64][]int, r.Len())
-	for j, rr := range r.rows {
-		if k, ok := hashKey(rr, spec.EqR); ok {
-			idx[k] = append(idx[k], j)
+	idx := make(map[uint64][]int32, r.Len())
+	for j := 0; j < r.n; j++ {
+		if k, ok := hashKeyAt(r, j, spec.EqR); ok {
+			idx[k] = append(idx[k], int32(j))
 		}
 	}
-	for i, lr := range l.rows {
-		if k, ok := hashKey(lr, spec.EqL); ok {
-			for _, j := range idx[k] {
-				rr := r.rows[j]
-				e.Stats.Comparisons++
-				if spec.eqOK(lr, rr) && spec.neqOK(lr, rr) {
-					lMatched[i] = true
-					rMatched[j] = true
-					out.rows = append(out.rows, spec.emit(lr, rr))
-				}
+	for i := 0; i < l.n; i++ {
+		k, ok := hashKeyAt(l, i, spec.EqL)
+		if !ok {
+			continue
+		}
+		lr := l.Row(i)
+		for _, j := range idx[k] {
+			rr := r.Row(int(j))
+			e.Stats.Comparisons++
+			if spec.eqOK(lr, rr) && spec.neqOK(lr, rr) {
+				lMatched[i] = true
+				rMatched[j] = true
+				out.Append(spec.emit(lr, rr))
 			}
 		}
 	}
@@ -393,34 +592,33 @@ func (e *Engine) FullOuterJoin(l, r *Table, spec JoinSpec) *Table {
 		lFromR[spec.EqL[k]] = spec.EqR[k]
 	}
 
-	nullRowR := make(Row, r.Arity())
-	for i, lr := range l.rows {
+	for i := 0; i < l.n; i++ {
 		if lMatched[i] {
 			continue
 		}
-		rr := nullRowR.Clone()
+		lr := l.Row(i)
+		rr := make(Row, r.Arity())
 		for j := range rr {
 			rr[j] = Null
 			if li, ok := rFromL[j]; ok {
 				rr[j] = lr[li]
 			}
 		}
-		out.rows = append(out.rows, spec.emit(lr, rr))
+		out.Append(spec.emit(lr, rr))
 	}
-	nullRowL := make(Row, l.Arity())
-	for j, rr := range r.rows {
+	for j := 0; j < r.n; j++ {
 		if rMatched[j] {
 			continue
 		}
-		lr := nullRowL.Clone()
+		rr := r.Row(j)
+		lr := make(Row, l.Arity())
 		for i := range lr {
 			lr[i] = Null
 			if ri, ok := lFromR[i]; ok {
 				lr[i] = rr[ri]
 			}
 		}
-		out.rows = append(out.rows, spec.emit(lr, rr))
+		out.Append(spec.emit(lr, rr))
 	}
-	e.Stats.RowsOut += int64(out.Len())
 	return out
 }

@@ -17,36 +17,43 @@ func (e *Engine) probePartitionMin() int {
 }
 
 // partitionedProbe runs the probe phase of a hash join with the probe side
-// split into Parallelism contiguous chunks, one goroutine each. Each chunk
-// probes the shared (read-only) build index into its own output buffer and
-// comparison counter; the buffers are concatenated in chunk order, so the
+// split into Parallelism contiguous index ranges, one goroutine each. Each
+// chunk probes the shared (read-only) build index into its own column
+// buffers and tally; the buffers are stitched back in chunk order, so the
 // emitted rows — and therefore the whole join output — are byte-identical
-// to the serial probe, and the comparison total is summed at the barrier
-// rather than contended per probe.
-func (e *Engine) partitionedProbe(probe []Row, probeFn func(rows []Row, comparisons *int64) []Row) []Row {
+// to the serial probe, and the Stats contributions are summed at the
+// barrier rather than contended per probe. Chunk writers allocate plain
+// buffers (the engine arena is single-owner, not goroutine-safe); only the
+// stitched result draws from the arena.
+func (e *Engine) partitionedProbe(l, r *Table, spec JoinSpec, probeLen int,
+	probeRange func(lo, hi int, w *colWriter, t *probeTally)) (*colWriter, probeTally) {
+
 	parts := e.Parallelism
-	if parts > len(probe) {
-		parts = len(probe)
+	if parts > probeLen {
+		parts = probeLen
 	}
-	outs := make([][]Row, parts)
-	comps := make([]int64, parts)
+	chunks := make([]*colWriter, parts)
+	tallies := make([]probeTally, parts)
 	var wg sync.WaitGroup
 	for p := 0; p < parts; p++ {
 		// Proportional bounds balance the chunks and, unlike ceil-sized
-		// chunks, can never run past the slice when parts ∤ len(probe).
-		lo := p * len(probe) / parts
-		hi := (p + 1) * len(probe) / parts
+		// chunks, can never run past the range when parts ∤ probeLen.
+		lo := p * probeLen / parts
+		hi := (p + 1) * probeLen / parts
 		wg.Add(1)
-		go func(p int, rows []Row) {
+		go func(p, lo, hi int) {
 			defer wg.Done()
-			outs[p] = probeFn(rows, &comps[p])
-		}(p, probe[lo:hi])
+			chunks[p] = newColWriter(l, r, spec, nil)
+			probeRange(lo, hi, chunks[p], &tallies[p])
+		}(p, lo, hi)
 	}
 	wg.Wait()
-	var rows []Row
+	out := newColWriter(l, r, spec, e.Arena)
+	var total probeTally
 	for p := 0; p < parts; p++ {
-		rows = append(rows, outs[p]...)
-		e.Stats.Comparisons += comps[p]
+		out.absorb(chunks[p])
+		total.comparisons += tallies[p].comparisons
+		total.internedHits += tallies[p].internedHits
 	}
-	return rows
+	return out, total
 }

@@ -1,0 +1,82 @@
+package relational
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsAddMinusCoverEveryField closes the forgotten-field class of
+// metrics-accounting bugs by reflection: every field of Stats must survive
+// an Add/Minus round-trip with a distinct per-field value, so a counter
+// added to the struct but left out of Add or Minus (the InternedProbes
+// fields were one near-miss) fails here instead of silently skewing the
+// per-job deltas the parallel miner attributes with Minus.
+func TestStatsAddMinusCoverEveryField(t *testing.T) {
+	mk := func(base int64) Stats {
+		var s Stats
+		v := reflect.ValueOf(&s).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if f.Kind() != reflect.Int && f.Kind() != reflect.Int64 {
+				t.Fatalf("Stats field %s has kind %v; extend this test for it",
+					v.Type().Field(i).Name, f.Kind())
+			}
+			// Distinct per-field values: a transposed field pair in Add or
+			// Minus cannot cancel out.
+			f.SetInt(base + int64(i+1)*7)
+		}
+		return s
+	}
+	lo, hi := mk(100), mk(100000)
+
+	d := hi.Minus(lo)
+	dv := reflect.ValueOf(d)
+	for i := 0; i < dv.NumField(); i++ {
+		if got := dv.Field(i).Int(); got != 100000-100 {
+			t.Errorf("Minus dropped or mixed up field %s: delta %d, want %d",
+				dv.Type().Field(i).Name, got, 100000-100)
+		}
+	}
+
+	sum := lo
+	sum.Add(d)
+	if sum != hi {
+		t.Errorf("Add does not invert Minus:\nlo+delta = %+v\nhi       = %+v", sum, hi)
+	}
+}
+
+// TestStatsInternedProbeAccounting pins the satellite fix behaviorally: a
+// single-equality hash join must count as one interned probe with its
+// candidate pairs as hits, the counters must flow through Minus deltas, and
+// a two-equality join must not touch them.
+func TestStatsInternedProbeAccounting(t *testing.T) {
+	l := NewTable("a", "b")
+	r := NewTable("x", "y")
+	for i := 0; i < 8; i++ {
+		l.Append(Row{Value(i % 4), Value(i)})
+		r.Append(Row{Value(i % 4), Value(i + 100)})
+	}
+	spec := JoinSpec{EqL: []int{0}, EqR: []int{0}, LOut: []int{0, 1}, ROut: []int{1}}
+
+	e := &Engine{Strategy: HashStrategy}
+	before := e.Stats
+	e.Join(l, r, spec)
+	d := e.Stats.Minus(before)
+	if d.InternedProbes != 1 {
+		t.Fatalf("InternedProbes delta = %d, want 1", d.InternedProbes)
+	}
+	// Every probe row meets 2 build candidates of its key: 8*2 pairs.
+	if d.InternedProbeHits != d.Comparisons || d.InternedProbeHits != 16 {
+		t.Fatalf("InternedProbeHits delta = %d (comparisons %d), want 16 matching comparisons",
+			d.InternedProbeHits, d.Comparisons)
+	}
+
+	// Two equality pairs: the FNV path, no interned accounting.
+	spec2 := JoinSpec{EqL: []int{0, 1}, EqR: []int{0, 1}, LOut: []int{0}, ROut: []int{1}}
+	before = e.Stats
+	e.Join(l, r, spec2)
+	d = e.Stats.Minus(before)
+	if d.InternedProbes != 0 || d.InternedProbeHits != 0 {
+		t.Fatalf("multi-key join touched interned counters: %+v", d)
+	}
+}

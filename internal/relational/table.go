@@ -9,6 +9,14 @@
 // residual inequality predicates, full outer joins with null padding,
 // projection, selection, dedup and distinct counts — plus a nested-loop
 // execution strategy used by the PM−join ablation baseline.
+//
+// Storage is columnar: a Table holds one dense []Value slice per attribute
+// rather than per-row slices. The join loops, dedup and distinct scans walk
+// columns directly, so the hot path does zero per-row allocation; Row and
+// Rows materialize row views on demand for the cold paths (SQL shell,
+// detector reports, tests) that want tuple-shaped data. The row-oriented
+// reference implementation this engine replaced lives on in the rowref
+// subpackage, pinned against this one by the difftest suite.
 package relational
 
 import (
@@ -48,17 +56,19 @@ func (r Row) HasNull() bool {
 	return false
 }
 
-// Table is a named-column relation. Rows are dense []Value slices.
+// Table is a named-column relation stored column-major: data[c][i] is the
+// cell of column c in row i. Every column slice has exactly n entries.
 type Table struct {
 	cols []string
-	rows []Row
+	data [][]Value
+	n    int
 }
 
 // NewTable returns an empty table with the given column names.
 func NewTable(cols ...string) *Table {
 	c := make([]string, len(cols))
 	copy(c, cols)
-	return &Table{cols: c}
+	return &Table{cols: c, data: make([][]Value, len(c))}
 }
 
 // FromRows builds a table from column names and rows; rows are copied.
@@ -79,13 +89,32 @@ func (t *Table) Columns() []string { return t.cols }
 func (t *Table) Arity() int { return len(t.cols) }
 
 // Len returns the number of rows.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int { return t.n }
 
-// Row returns row i (not copied).
-func (t *Table) Row(i int) Row { return t.rows[i] }
+// Row materializes row i as a freshly allocated tuple. Mutating the
+// result never affects the table — cold-path convenience only; hot loops
+// should walk Col slices instead.
+func (t *Table) Row(i int) Row {
+	r := make(Row, len(t.data))
+	for c, col := range t.data {
+		r[c] = col[i]
+	}
+	return r
+}
 
-// Rows returns the underlying row slice (not copied).
-func (t *Table) Rows() []Row { return t.rows }
+// Rows materializes every row (cold paths and tests; hot loops walk Col).
+func (t *Table) Rows() []Row {
+	out := make([]Row, t.n)
+	for i := range out {
+		out[i] = t.Row(i)
+	}
+	return out
+}
+
+// Col returns the storage of column c, not copied: the hot-path accessor
+// the join loops and the mining frequency scans read. Callers must not
+// modify it.
+func (t *Table) Col(c int) []Value { return t.data[c] }
 
 // SetColumnName renames column i; join outputs inherit input names, and
 // realization tables rename the appended column to its pattern variable.
@@ -106,23 +135,21 @@ func (t *Table) Append(r Row) {
 	if len(r) != len(t.cols) {
 		panic(fmt.Sprintf("relational: row arity %d != schema arity %d", len(r), len(t.cols)))
 	}
-	t.rows = append(t.rows, r.Clone())
+	for c := range t.data {
+		t.data[c] = append(t.data[c], r[c])
+	}
+	t.n++
 }
 
 // Project returns a new table with the given column indexes, in order.
 func (t *Table) Project(idx ...int) *Table {
 	cols := make([]string, len(idx))
+	out := &Table{n: t.n, data: make([][]Value, len(idx))}
 	for i, j := range idx {
 		cols[i] = t.cols[j]
+		out.data[i] = append([]Value(nil), t.data[j]...)
 	}
-	out := NewTable(cols...)
-	for _, r := range t.rows {
-		nr := make(Row, len(idx))
-		for i, j := range idx {
-			nr[i] = r[j]
-		}
-		out.rows = append(out.rows, nr)
-	}
+	out.cols = cols
 	return out
 }
 
@@ -142,41 +169,51 @@ func (t *Table) ProjectNamed(names ...string) *Table {
 // Select returns the rows satisfying pred, keeping the schema.
 func (t *Table) Select(pred func(Row) bool) *Table {
 	out := NewTable(t.cols...)
-	for _, r := range t.rows {
-		if pred(r) {
-			out.rows = append(out.rows, r.Clone())
+	for i := 0; i < t.n; i++ {
+		if pred(t.Row(i)) {
+			t.appendRowTo(out, i)
 		}
 	}
 	return out
+}
+
+// appendRowTo copies row i of t onto the end of dst (same arity assumed).
+func (t *Table) appendRowTo(dst *Table, i int) {
+	for c := range t.data {
+		dst.data[c] = append(dst.data[c], t.data[c][i])
+	}
+	dst.n++
 }
 
 // Dedup returns the table with duplicate rows removed (first occurrence
 // kept). Nulls compare equal to nulls for dedup purposes. Rows are bucketed
-// by an FNV hash and verified exactly, so the pass stays allocation-light —
-// it runs after every realization-growing join.
+// by an FNV hash over the columns and verified exactly, so the pass does no
+// per-row allocation — it runs after every realization-growing join.
 func (t *Table) Dedup() *Table {
 	out := NewTable(t.cols...)
-	buckets := make(map[uint64][]Row, len(t.rows))
+	buckets := make(map[uint64][]int32, t.n)
 rows:
-	for _, r := range t.rows {
-		h := rowHash(r)
+	for i := 0; i < t.n; i++ {
+		h := t.rowHashAt(i)
 		for _, prev := range buckets[h] {
-			if rowsEqual(prev, r) {
+			if t.rowsEqualAt(int(prev), i) {
 				continue rows
 			}
 		}
-		c := r.Clone()
-		buckets[h] = append(buckets[h], c)
-		out.rows = append(out.rows, c)
+		buckets[h] = append(buckets[h], int32(i))
+		t.appendRowTo(out, i)
 	}
 	return out
 }
 
-func rowHash(r Row) uint64 {
+// rowHashAt folds row i's cells into the same FNV-1a hash the row engine
+// used, so bucket populations — and with them comparison counts — stay
+// identical across the rewrite.
+func (t *Table) rowHashAt(i int) uint64 {
 	const prime64 = 1099511628211
 	h := uint64(14695981039346656037)
-	for _, v := range r {
-		u := uint32(v)
+	for _, col := range t.data {
+		u := uint32(col[i])
 		for shift := 0; shift < 32; shift += 8 {
 			h ^= uint64(byte(u >> shift))
 			h *= prime64
@@ -185,12 +222,9 @@ func rowHash(r Row) uint64 {
 	return h
 }
 
-func rowsEqual(a, b Row) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
+func (t *Table) rowsEqualAt(i, j int) bool {
+	for _, col := range t.data {
+		if col[i] != col[j] {
 			return false
 		}
 	}
@@ -202,9 +236,9 @@ func rowsEqual(a, b Row) bool {
 // (line 13) issues against the pattern-source column.
 func (t *Table) DistinctCount(col int) int {
 	seen := map[Value]bool{}
-	for _, r := range t.rows {
-		if !r[col].IsNull() {
-			seen[r[col]] = true
+	for _, v := range t.data[col] {
+		if !v.IsNull() {
+			seen[v] = true
 		}
 	}
 	return len(seen)
@@ -213,9 +247,9 @@ func (t *Table) DistinctCount(col int) int {
 // DistinctValues returns the sorted distinct non-null values of column col.
 func (t *Table) DistinctValues(col int) []Value {
 	seen := map[Value]bool{}
-	for _, r := range t.rows {
-		if !r[col].IsNull() {
-			seen[r[col]] = true
+	for _, v := range t.data[col] {
+		if !v.IsNull() {
+			seen[v] = true
 		}
 	}
 	out := make([]Value, 0, len(seen))
@@ -228,25 +262,36 @@ func (t *Table) DistinctValues(col int) []Value {
 
 // Clone deep-copies the table.
 func (t *Table) Clone() *Table {
-	out := NewTable(t.cols...)
-	out.rows = make([]Row, len(t.rows))
-	for i, r := range t.rows {
-		out.rows[i] = r.Clone()
+	out := &Table{cols: append([]string(nil), t.cols...), n: t.n}
+	out.data = make([][]Value, len(t.data))
+	for c := range t.data {
+		out.data[c] = append([]Value(nil), t.data[c]...)
 	}
 	return out
 }
 
 // SortRows orders rows lexicographically, for deterministic output.
 func (t *Table) SortRows() {
-	sort.Slice(t.rows, func(i, j int) bool {
-		a, b := t.rows[i], t.rows[j]
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
+	perm := make([]int, t.n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		i, j := perm[a], perm[b]
+		for _, col := range t.data {
+			if col[i] != col[j] {
+				return col[i] < col[j]
 			}
 		}
 		return false
 	})
+	for c, col := range t.data {
+		nc := make([]Value, t.n)
+		for i, p := range perm {
+			nc[i] = col[p]
+		}
+		t.data[c] = nc
+	}
 }
 
 // String renders a small table for debugging.
@@ -254,19 +299,19 @@ func (t *Table) String() string {
 	var b strings.Builder
 	b.WriteString(strings.Join(t.cols, " | "))
 	b.WriteByte('\n')
-	for i, r := range t.rows {
+	for i := 0; i < t.n; i++ {
 		if i >= 20 {
-			fmt.Fprintf(&b, "... (%d rows total)\n", len(t.rows))
+			fmt.Fprintf(&b, "... (%d rows total)\n", t.n)
 			break
 		}
-		for j, v := range r {
+		for j, col := range t.data {
 			if j > 0 {
 				b.WriteString(" | ")
 			}
-			if v.IsNull() {
+			if col[i].IsNull() {
 				b.WriteString("∅")
 			} else {
-				fmt.Fprintf(&b, "%d", v)
+				fmt.Fprintf(&b, "%d", col[i])
 			}
 		}
 		b.WriteByte('\n')
