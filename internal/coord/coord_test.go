@@ -1,0 +1,473 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wiclean/internal/action"
+	"wiclean/internal/dump"
+	"wiclean/internal/mining"
+	"wiclean/internal/model"
+	"wiclean/internal/obs"
+	"wiclean/internal/source"
+	"wiclean/internal/taxonomy"
+	"wiclean/internal/windows"
+)
+
+// testWorld is the soccer micro-fixture of the windows tests: n players
+// with two dedicated clubs each, transferring in bursts that drive the
+// refinement walk through several widening steps.
+type testWorld struct {
+	reg     *taxonomy.Registry
+	store   *dump.History
+	players []taxonomy.EntityID
+	clubs   []taxonomy.EntityID
+	span    action.Window
+}
+
+func newTestWorld(t *testing.T) *testWorld {
+	t.Helper()
+	x := taxonomy.New()
+	x.AddChain("Person", "Athlete", "FootballPlayer")
+	x.AddChain("Organisation", "FootballClub")
+	reg := taxonomy.NewRegistry(x)
+	w := &testWorld{reg: reg, store: dump.NewHistory(reg), span: action.Window{Start: 0, End: 8 * action.Week}}
+	for i := 0; i < 10; i++ {
+		w.players = append(w.players, reg.MustAdd("P"+string(rune('A'+i)), "FootballPlayer"))
+	}
+	for i := 0; i < 20; i++ {
+		w.clubs = append(w.clubs, reg.MustAdd(fmt.Sprintf("C%02d", i), "FootballClub"))
+	}
+	// A straddling burst forces widening, so the walk takes several
+	// refinement steps — enough structure for checkpoint/kill tests.
+	for p := 0; p < 8; p++ {
+		a, b := 2*p, 2*p+1
+		ts := 2*action.Week - 4
+		gap := 2*action.Week/2 + action.Time(p)
+		w.store.AddActions(
+			action.Action{Op: action.Add, Edge: action.Edge{Src: w.players[p], Label: "current_club", Dst: w.clubs[b]}, T: ts},
+			action.Action{Op: action.Remove, Edge: action.Edge{Src: w.players[p], Label: "current_club", Dst: w.clubs[a]}, T: ts + 1},
+			action.Action{Op: action.Add, Edge: action.Edge{Src: w.clubs[b], Label: "squad", Dst: w.players[p]}, T: ts + gap},
+			action.Action{Op: action.Remove, Edge: action.Edge{Src: w.clubs[a], Label: "squad", Dst: w.players[p]}, T: ts + gap + 1},
+		)
+	}
+	return w
+}
+
+// testConfig mirrors the windows package's test configuration.
+func testConfig() windows.Config {
+	c := windows.Defaults()
+	c.MinWindow = 2 * action.Week
+	c.MaxWindow = 8 * action.Week
+	c.InitialTau = 0.7
+	c.Mining = mining.PM(0.7)
+	c.Mining.MaxAbstraction = 0
+	c.Workers = 2
+	return c
+}
+
+// modelBytes serializes an outcome the way `wiclean mine -save-model`
+// does — the byte-identity comparison medium.
+func modelBytes(t *testing.T, w *testWorld, o *windows.Outcome, prov model.Provenance) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := model.Write(&buf, model.Snapshot(o, w.reg, prov)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fingerprint computes the run's provenance for a config.
+func fingerprint(t *testing.T, w *testWorld, cfg windows.Config) model.Provenance {
+	t.Helper()
+	prov, err := model.Fingerprint(w.reg, w.span, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prov
+}
+
+// startWorkers spins up n httptest workers over the world's store, all
+// advertising the given provenance.
+func startWorkers(t *testing.T, w *testWorld, prov model.Provenance, cfg mining.Config, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		srv := httptest.NewServer(NewWorker(w.store, prov, cfg, nil))
+		t.Cleanup(srv.Close)
+		addrs[i] = srv.URL
+	}
+	return addrs
+}
+
+// quickRetry is a fast-converging retry policy for fault tests.
+func quickRetry() source.RetryPolicy {
+	return source.RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// TestPoolByteIdentity is the determinism contract: the same world mined
+// through 1, 2 and 4 remote workers produces model bytes identical to the
+// single-process run, regardless of completion order.
+func TestPoolByteIdentity(t *testing.T) {
+	cfg := testConfig()
+	w := newTestWorld(t)
+	prov := fingerprint(t, w, cfg)
+	base, err := windows.Run(w.store, w.players, "FootballPlayer", w.span, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := modelBytes(t, w, base, prov)
+
+	for _, n := range []int{1, 2, 4} {
+		reg := obs.NewRegistry()
+		addrs := startWorkers(t, w, prov, cfg.Mining, n)
+		pool, err := New(addrs, Options{Provenance: prov, Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccfg := cfg
+		ccfg.Miner = pool
+		ccfg.Workers = pool.Slots()
+		o, err := windows.Run(w.store, w.players, "FootballPlayer", w.span, ccfg)
+		if err != nil {
+			t.Fatalf("%d workers: %v", n, err)
+		}
+		if !bytes.Equal(golden, modelBytes(t, w, o, prov)) {
+			t.Errorf("%d workers: model bytes diverged from single-process run", n)
+		}
+		snap := reg.Snapshot()
+		if d, m := snap.Counters[obs.CoordWindowsDispatched], snap.Counters[obs.CoordWindowsMerged]; d == 0 || d != m {
+			t.Errorf("%d workers: dispatched %d, merged %d — want equal and nonzero", n, d, m)
+		}
+	}
+}
+
+// TestPoolFaultInjectionIdentity asserts the resilience contract: with the
+// first dispatch of every job failing plus a 20%% random fault rate,
+// re-dispatches mask every fault and the model bytes still match the
+// single-process run.
+func TestPoolFaultInjectionIdentity(t *testing.T) {
+	cfg := testConfig()
+	w := newTestWorld(t)
+	prov := fingerprint(t, w, cfg)
+	base, err := windows.Run(w.store, w.players, "FootballPlayer", w.span, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := modelBytes(t, w, base, prov)
+
+	reg := obs.NewRegistry()
+	addrs := startWorkers(t, w, prov, cfg.Mining, 2)
+	pool, err := New(addrs, Options{
+		Provenance: prov,
+		Obs:        reg,
+		Retry:      quickRetry(),
+		Faults:     source.Faults{Seed: 1, Rate: 0.2, FailFirst: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := cfg
+	ccfg.Miner = pool
+	ccfg.Workers = pool.Slots()
+	o, err := windows.Run(w.store, w.players, "FootballPlayer", w.span, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, modelBytes(t, w, o, prov)) {
+		t.Error("fault-injected cluster run diverged from single-process model")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[obs.CoordWindowsRedispatched] == 0 {
+		t.Error("fault run never re-dispatched — faults were not exercised")
+	}
+	if snap.Counters[obs.SourceFaultsInjected] == 0 {
+		t.Error("no faults recorded as injected")
+	}
+}
+
+// TestPoolStaleWorkerReroute runs a mixed cluster — one worker with a
+// drifted fingerprint, one healthy — and asserts the drifted worker is
+// quarantined after its 409 while every window re-routes to the healthy
+// one, without byte divergence.
+func TestPoolStaleWorkerReroute(t *testing.T) {
+	cfg := testConfig()
+	w := newTestWorld(t)
+	prov := fingerprint(t, w, cfg)
+	base, err := windows.Run(w.store, w.players, "FootballPlayer", w.span, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := modelBytes(t, w, base, prov)
+
+	drifted := cfg
+	drifted.InitialTau = 0.65 // semantic drift: different fingerprint
+	staleProv := fingerprint(t, w, drifted)
+	if prov.Matches(staleProv) {
+		t.Fatal("fixture broken: drifted config produced the same fingerprint")
+	}
+
+	reg := obs.NewRegistry()
+	staleAddr := startWorkers(t, w, staleProv, drifted.Mining, 1)
+	goodAddr := startWorkers(t, w, prov, cfg.Mining, 1)
+	pool, err := New([]string{staleAddr[0], goodAddr[0]}, Options{Provenance: prov, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := cfg
+	ccfg.Miner = pool
+	ccfg.Workers = pool.Slots()
+	o, err := windows.Run(w.store, w.players, "FootballPlayer", w.span, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, modelBytes(t, w, o, prov)) {
+		t.Error("mixed-cluster run diverged from single-process model")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.CoordWorkerRejects]; got != 1 {
+		t.Errorf("worker rejects = %d, want exactly 1 (quarantine is permanent)", got)
+	}
+	if snap.Counters[obs.CoordWindowsMerged] == 0 {
+		t.Error("no windows merged through the healthy worker")
+	}
+}
+
+// TestPoolAllStaleTypedError drives a pool whose only worker rejects the
+// provenance and asserts the failure is fully typed: a DispatchError
+// wrapping ErrNoWorkers wrapping the *model.StaleError with both
+// fingerprints.
+func TestPoolAllStaleTypedError(t *testing.T) {
+	cfg := testConfig()
+	w := newTestWorld(t)
+	prov := fingerprint(t, w, cfg)
+	drifted := cfg
+	drifted.InitialTau = 0.65
+	staleProv := fingerprint(t, w, drifted)
+
+	addrs := startWorkers(t, w, staleProv, drifted.Mining, 1)
+	pool, err := New(addrs, Options{Provenance: prov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := windows.WindowJob{
+		Index:    0,
+		Window:   action.Window{Start: 0, End: 2 * action.Week},
+		Tau:      cfg.InitialTau,
+		SeedType: "FootballPlayer",
+		Seeds:    w.players,
+	}
+	_, err = pool.MineWindow(context.Background(), job)
+	if err == nil {
+		t.Fatal("mining through an all-stale pool should fail")
+	}
+	var derr *DispatchError
+	if !errors.As(err, &derr) {
+		t.Fatalf("error %v is not a *DispatchError", err)
+	}
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Errorf("error %v does not match ErrNoWorkers", err)
+	}
+	var serr *model.StaleError
+	if !errors.As(err, &serr) {
+		t.Fatalf("error %v does not expose the *model.StaleError", err)
+	}
+	if !serr.Want.Matches(prov) || serr.Got.Matches(prov) {
+		t.Errorf("stale error fingerprints inverted: want %q got %q", serr.Want.Hash, serr.Got.Hash)
+	}
+}
+
+// memCheckpointer is the in-memory windows.Checkpointer of the kill/resume
+// test, JSON round-tripping states like the file-backed implementation.
+type memCheckpointer struct {
+	state     []byte
+	cleared   bool
+	afterSave func(saves int)
+	saves     int
+}
+
+func (m *memCheckpointer) Save(st *windows.CheckpointState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	m.state = data
+	m.saves++
+	if m.afterSave != nil {
+		m.afterSave(m.saves)
+	}
+	return nil
+}
+
+func (m *memCheckpointer) Load() (*windows.CheckpointState, error) {
+	if m.state == nil {
+		return nil, nil
+	}
+	var st windows.CheckpointState
+	if err := json.Unmarshal(m.state, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (m *memCheckpointer) Clear() error {
+	m.state = nil
+	m.cleared = true
+	return nil
+}
+
+// TestCoordinatorKillResume kills a checkpointed, fault-injected cluster
+// run mid-walk and resumes it: the resumed run must re-dispatch (faults
+// stay on), finish from the persisted step, and produce model bytes
+// identical to an uninterrupted single-process run.
+func TestCoordinatorKillResume(t *testing.T) {
+	cfg := testConfig()
+	cfg.SkipRelative = true // keep the walk minimal; relative identity has its own tests
+	w := newTestWorld(t)
+	prov := fingerprint(t, w, cfg)
+	base, err := windows.Run(w.store, w.players, "FootballPlayer", w.span, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.RefinementSteps < 2 {
+		t.Fatalf("fixture too shallow: %d refinement steps", base.RefinementSteps)
+	}
+	golden := modelBytes(t, w, base, prov)
+
+	addrs := startWorkers(t, w, prov, cfg.Mining, 2)
+	newPool := func(reg *obs.Registry) *Pool {
+		pool, err := New(addrs, Options{
+			Provenance: prov,
+			Obs:        reg,
+			Retry:      quickRetry(),
+			Faults:     source.Faults{Seed: 1, Rate: 0.2, FailFirst: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pool
+	}
+
+	// Interrupted run: cancel after the second checkpoint save, so the
+	// coordinator dies between iterations with state for step >= 1
+	// persisted.
+	mc := &memCheckpointer{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mc.afterSave = func(saves int) {
+		if saves == 2 {
+			cancel()
+		}
+	}
+	icfg := cfg
+	icfg.Checkpoint = mc
+	icfg.Miner = newPool(nil)
+	if _, err := windows.RunContext(ctx, w.store, w.players, "FootballPlayer", w.span, icfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	if mc.state == nil {
+		t.Fatal("no checkpoint persisted by the interrupted coordinator")
+	}
+
+	// Resumed run: a fresh coordinator process (new pool, new registry)
+	// over the same checkpoint.
+	mc.afterSave = nil
+	reg := obs.NewRegistry()
+	rcfg := cfg
+	rcfg.Checkpoint = mc
+	rcfg.Miner = newPool(reg)
+	resumed, err := windows.Run(w.store, w.players, "FootballPlayer", w.span, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mc.cleared {
+		t.Error("completed resumed run should clear its checkpoint")
+	}
+	if !bytes.Equal(golden, modelBytes(t, w, resumed, prov)) {
+		t.Error("resumed coordinator run diverged from the uninterrupted single-process model")
+	}
+	if reg.Snapshot().Counters[obs.CoordWindowsRedispatched] == 0 {
+		t.Error("resumed run never re-dispatched — fault injection was not exercised")
+	}
+}
+
+// TestWorkerHTTPContract pins the endpoint's error behavior: non-POST is
+// 405, malformed bodies and unknown stages and out-of-range seeds are 400,
+// and a provenance mismatch is 409 carrying both fingerprints.
+func TestWorkerHTTPContract(t *testing.T) {
+	cfg := testConfig()
+	w := newTestWorld(t)
+	prov := fingerprint(t, w, cfg)
+	srv := httptest.NewServer(NewWorker(w.store, prov, cfg.Mining, nil))
+	t.Cleanup(srv.Close)
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		res, err := http.Post(srv.URL, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { res.Body.Close() })
+		return res
+	}
+	okReq := func() MineRequest {
+		return MineRequest{
+			Provenance: prov,
+			Stage:      StageWindow,
+			Window:     action.Window{Start: 0, End: 2 * action.Week},
+			Tau:        cfg.InitialTau,
+			SeedType:   "FootballPlayer",
+			Seeds:      w.players,
+		}
+	}
+	marshal := func(r MineRequest) string {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	if res, err := http.Get(srv.URL); err != nil {
+		t.Fatal(err)
+	} else if res.Body.Close(); res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", res.StatusCode)
+	}
+	if res := post("{"); res.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", res.StatusCode)
+	}
+	bad := okReq()
+	bad.Stage = "warp"
+	if res := post(marshal(bad)); res.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown stage: status %d, want 400", res.StatusCode)
+	}
+	bad = okReq()
+	bad.Seeds = []taxonomy.EntityID{taxonomy.EntityID(w.reg.Len() + 7)}
+	if res := post(marshal(bad)); res.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range seed: status %d, want 400", res.StatusCode)
+	}
+	drifted := okReq()
+	drifted.Provenance = model.Provenance{Hash: "deadbeef"}
+	res := post(marshal(drifted))
+	if res.StatusCode != http.StatusConflict {
+		t.Fatalf("provenance mismatch: status %d, want 409", res.StatusCode)
+	}
+	var sb staleBody
+	if err := json.NewDecoder(res.Body).Decode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Want.Hash != "deadbeef" || !sb.Got.Matches(prov) {
+		t.Errorf("409 body fingerprints: want %q got %q", sb.Want.Hash, sb.Got.Hash)
+	}
+	if res := post(marshal(okReq())); res.StatusCode != http.StatusOK {
+		t.Errorf("valid request: status %d, want 200", res.StatusCode)
+	}
+}

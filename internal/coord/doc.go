@@ -1,0 +1,36 @@
+// Package coord distributes Algorithm 2's window mining across
+// wiclean-server worker instances while keeping the result provably equal
+// to a single-process run.
+//
+// The paper calls the per-window mining loop "embarrassingly
+// parallelized"; internal/windows exploits that inside one process with a
+// goroutine pool. This package is the next scaling step the ROADMAP asks
+// for: the refinement walk (window splitting, τ/width refinement,
+// checkpointing and the ordered merge of per-window results) stays on the
+// coordinator, and only the per-window mining jobs — plus the relative
+// stage over the converged windows — travel over HTTP to workers.
+//
+// Determinism contract. Pool implements windows.WindowMiner, and
+// windows.Run folds results by window index regardless of which worker
+// answered first, exactly as the in-process pool does. Per-window mining
+// is itself deterministic, so the merged model bytes are identical to a
+// local mine at any cluster size, any worker-completion order, and under
+// any schedule of transient dispatch faults (retries mask them).
+//
+// Authentication by provenance. Every MineRequest carries the
+// coordinator's model.Provenance fingerprint (universe dump hash + span +
+// semantic mining configuration). A worker whose own fingerprint differs
+// answers 409 with both fingerprints; the coordinator surfaces that as a
+// *model.StaleError, quarantines the drifted worker and re-routes the
+// window to a healthy one. A fingerprint match also guarantees — via the
+// universe-dump hash — that coordinator and worker registries assign
+// identical entity IDs, which is what makes shipping raw seed IDs safe.
+//
+// Failure handling reuses the internal/source resilience vocabulary: a
+// capped-exponential source.RetryPolicy with deterministic jitter paces
+// re-dispatches, a retry budget bounds cluster-wide thrash
+// (source.ErrExhausted), and source.Faults injects deterministic dispatch
+// faults for the byte-identity experiments. A killed coordinator resumes
+// from its refinement checkpoint (windows.Config.Checkpoint) like any
+// local run — workers are stateless between requests.
+package coord

@@ -1,0 +1,188 @@
+package coord
+
+import (
+	"wiclean/internal/action"
+	"wiclean/internal/mining"
+	"wiclean/internal/model"
+	"wiclean/internal/pattern"
+	"wiclean/internal/taxonomy"
+	"wiclean/internal/windows"
+)
+
+// Stage selects which half of Algorithm 2 a mine request executes.
+type Stage string
+
+const (
+	// StageWindow mines one window of one refinement step (Algorithm 2's
+	// inner loop) and returns its most specific frequent patterns.
+	StageWindow Stage = "window"
+
+	// StageRelative re-mines one converged window and expands the
+	// relative-frequent-patterns stage (§4.2) over it. The worker re-mines
+	// rather than receiving the base result because relative expansion
+	// needs the realization tables, which the wire format deliberately
+	// does not carry — per-window mining is deterministic, so the re-mined
+	// base is identical to the result the coordinator already merged.
+	StageRelative Stage = "relative"
+)
+
+// valid reports whether s is a known stage.
+func (s Stage) valid() bool { return s == StageWindow || s == StageRelative }
+
+// MineRequest is the body of POST /mine: one windows.WindowJob plus the
+// coordinator's provenance fingerprint, which doubles as the request's
+// authentication — a worker loaded from a different universe, span or
+// semantic configuration must reject it (see Worker). Seeds are registry
+// entity IDs; a fingerprint match guarantees both registries assign the
+// same IDs.
+type MineRequest struct {
+	Provenance model.Provenance    `json:"provenance"`
+	Stage      Stage               `json:"stage"`
+	Index      int                 `json:"index"`
+	Step       int                 `json:"step"`
+	Window     action.Window       `json:"window"`
+	Tau        float64             `json:"tau"`
+	SeedType   taxonomy.Type       `json:"seed_type"`
+	Seeds      []taxonomy.EntityID `json:"seeds"`
+}
+
+// request builds the wire request for one job.
+func request(prov model.Provenance, stage Stage, job windows.WindowJob) MineRequest {
+	return MineRequest{
+		Provenance: prov,
+		Stage:      stage,
+		Index:      job.Index,
+		Step:       job.Step,
+		Window:     job.Window,
+		Tau:        job.Tau,
+		SeedType:   job.SeedType,
+		Seeds:      job.Seeds,
+	}
+}
+
+// job reconstructs the windows.WindowJob a request describes.
+func (r *MineRequest) job() windows.WindowJob {
+	return windows.WindowJob{
+		Index:    r.Index,
+		Step:     r.Step,
+		Window:   r.Window,
+		Tau:      r.Tau,
+		SeedType: r.SeedType,
+		Seeds:    r.Seeds,
+	}
+}
+
+// WireScored is one most specific frequent pattern on the wire. It is the
+// model-bytes subset of mining.ScoredPattern: realization tables stay on
+// the worker (the model store never persists them either — see
+// model.Snapshot), which keeps responses proportional to the pattern
+// count, not the edit volume.
+type WireScored struct {
+	Pattern     pattern.Pattern `json:"pattern"`
+	Frequency   float64         `json:"frequency"`
+	SourceCount int             `json:"source_count"`
+}
+
+// WireRelative is one relative frequent pattern on the wire.
+type WireRelative struct {
+	Base        pattern.Pattern `json:"base"`
+	Pattern     pattern.Pattern `json:"pattern"`
+	RelFreq     float64         `json:"rel_freq"`
+	Frequency   float64         `json:"frequency"`
+	SourceCount int             `json:"source_count"`
+}
+
+// MineResponse is the worker's answer: the window's patterns in the
+// miner's deterministic order, its work stats, and — for StageRelative —
+// the relative patterns keyed by base-pattern canonical form.
+type MineResponse struct {
+	SeedSize int                       `json:"seed_size"`
+	Patterns []WireScored              `json:"patterns,omitempty"`
+	Stats    mining.Stats              `json:"stats"`
+	Relative map[string][]WireRelative `json:"relative,omitempty"`
+}
+
+// encodeResponse flattens a mining result (and optional relative map) to
+// the wire.
+func encodeResponse(res *mining.Result, rel map[string][]mining.RelativePattern) *MineResponse {
+	out := &MineResponse{SeedSize: res.SeedSize, Stats: res.Stats}
+	for _, sp := range res.Patterns {
+		out.Patterns = append(out.Patterns, WireScored{
+			Pattern:     sp.Pattern,
+			Frequency:   sp.Frequency,
+			SourceCount: sp.SourceCount,
+		})
+	}
+	if len(rel) > 0 {
+		out.Relative = make(map[string][]WireRelative, len(rel))
+		for key, rs := range rel {
+			ws := make([]WireRelative, 0, len(rs))
+			for _, r := range rs {
+				ws = append(ws, WireRelative{
+					Base:        r.Base,
+					Pattern:     r.Pattern,
+					RelFreq:     r.RelFreq,
+					Frequency:   r.Frequency,
+					SourceCount: r.SourceCount,
+				})
+			}
+			ws = ws[:len(ws):len(ws)]
+			out.Relative[key] = ws
+		}
+	}
+	return out
+}
+
+// result rebuilds the mining.Result the windows fold consumes. Seeds,
+// seed type and window come from the job (they never left the
+// coordinator); realization tables are absent, exactly as in a
+// warm-started model.
+func (r *MineResponse) result(job windows.WindowJob) *mining.Result {
+	res := &mining.Result{
+		SeedType: job.SeedType,
+		Seeds:    job.Seeds,
+		SeedSize: r.SeedSize,
+		Window:   job.Window,
+		Stats:    r.Stats,
+	}
+	for _, ws := range r.Patterns {
+		res.Patterns = append(res.Patterns, mining.ScoredPattern{
+			Pattern:     ws.Pattern,
+			Frequency:   ws.Frequency,
+			SourceCount: ws.SourceCount,
+		})
+	}
+	return res
+}
+
+// relative rebuilds the relative-pattern map of a StageRelative response.
+func (r *MineResponse) relative() map[string][]mining.RelativePattern {
+	if len(r.Relative) == 0 {
+		return nil
+	}
+	out := make(map[string][]mining.RelativePattern, len(r.Relative))
+	for key, ws := range r.Relative {
+		rs := make([]mining.RelativePattern, 0, len(ws))
+		for _, w := range ws {
+			rs = append(rs, mining.RelativePattern{
+				Base:        w.Base,
+				Pattern:     w.Pattern,
+				RelFreq:     w.RelFreq,
+				Frequency:   w.Frequency,
+				SourceCount: w.SourceCount,
+			})
+		}
+		out[key] = rs
+	}
+	return out
+}
+
+// staleBody is the 409 payload of a provenance-rejected mine request: the
+// two fingerprints of the model.StaleError the coordinator reconstructs.
+// Want is the coordinator's provenance (the inputs the request was built
+// from), Got the worker's.
+type staleBody struct {
+	Error string           `json:"error"`
+	Want  model.Provenance `json:"want"`
+	Got   model.Provenance `json:"got"`
+}

@@ -1,0 +1,110 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"wiclean/internal/mining"
+	"wiclean/internal/model"
+	"wiclean/internal/obs"
+)
+
+// Worker answers POST /mine: it verifies the request's provenance
+// fingerprint against its own, mines the requested window (or runs the
+// relative stage) against its local revision-history store, and returns
+// the wire-encoded result. Workers are stateless between requests — all
+// walk state lives on the coordinator — so any number of them can serve
+// any subset of a run's windows, and a restarted worker needs no recovery
+// protocol.
+//
+// Mount it behind the usual middleware stack (plugin.Server mounts it on
+// mined servers; wiclean-server -worker builds a standalone mux), so
+// requests join the coordinator's trace via the propagated traceparent
+// and land in the HTTP metrics like every other endpoint.
+type Worker struct {
+	store mining.Store
+	prov  model.Provenance
+	cfg   mining.Config // semantic base; Tau comes from each request
+	obs   *obs.Registry
+}
+
+// NewWorker builds a worker over a local store. prov must be the
+// fingerprint of (store's universe, the run's span, the run's semantic
+// configuration) — compute it with model.Fingerprint from the same flags
+// a coordinator would use, so drift in any semantic knob turns into a
+// 409, not a silently divergent model. cfg supplies the non-Tau mining
+// knobs; its execution-only fields (JoinWorkers, Strategy) are the
+// worker's own business and may differ per instance without affecting
+// output bytes. reg may be nil.
+func NewWorker(store mining.Store, prov model.Provenance, cfg mining.Config, reg *obs.Registry) *Worker {
+	return &Worker{store: store, prov: prov, cfg: cfg, obs: reg}
+}
+
+// ServeHTTP implements the POST /mine contract. Responses: 200 with a
+// MineResponse, 409 with both provenance fingerprints when the request's
+// does not match (the coordinator rebuilds a *model.StaleError from it),
+// 400 for malformed requests, 405 for non-POST, 500 for mining failures.
+func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	wk.obs.Counter(obs.CoordMineRequests).Inc()
+	if r.Method != http.MethodPost {
+		wk.fail(w, http.StatusMethodNotAllowed, "mine: method %s not allowed", r.Method)
+		return
+	}
+	var req MineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		wk.fail(w, http.StatusBadRequest, "mine: invalid JSON: %v", err)
+		return
+	}
+	if !req.Stage.valid() {
+		wk.fail(w, http.StatusBadRequest, "mine: unknown stage %q", req.Stage)
+		return
+	}
+	if !req.Provenance.Matches(wk.prov) {
+		wk.obs.Counter(obs.CoordMineErrors).Inc()
+		serr := &model.StaleError{Want: req.Provenance, Got: wk.prov}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		_ = json.NewEncoder(w).Encode(staleBody{
+			Error: serr.Error(),
+			Want:  serr.Want,
+			Got:   serr.Got,
+		})
+		return
+	}
+	n := wk.store.Registry().Len()
+	for _, id := range req.Seeds {
+		if int(id) < 0 || int(id) >= n {
+			wk.fail(w, http.StatusBadRequest, "mine: seed ID %d outside registry (0..%d)", id, n-1)
+			return
+		}
+	}
+
+	job := req.job()
+	cfg := wk.cfg
+	cfg.Tau = req.Tau
+	cfg.Obs = wk.obs
+	res, err := mining.MineContext(r.Context(), wk.store, job.Seeds, job.SeedType, job.Window, cfg)
+	if err != nil {
+		wk.fail(w, http.StatusInternalServerError, "mine: window %v: %v", job.Window, err)
+		return
+	}
+	var rel map[string][]mining.RelativePattern
+	if req.Stage == StageRelative {
+		rel, err = mining.MineRelativeContext(r.Context(), wk.store, res, cfg)
+		if err != nil {
+			wk.fail(w, http.StatusInternalServerError, "mine: relative stage of %v: %v", job.Window, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(encodeResponse(res, rel))
+}
+
+// fail writes a JSON error body and counts the failure.
+func (wk *Worker) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	wk.obs.Counter(obs.CoordMineErrors).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

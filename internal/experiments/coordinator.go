@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"wiclean/internal/coord"
+	"wiclean/internal/mining"
+	"wiclean/internal/model"
+	"wiclean/internal/obs"
+	"wiclean/internal/source"
+	"wiclean/internal/synth"
+	"wiclean/internal/windows"
+)
+
+// CoordinatorRow is one cluster configuration of the distributed-mining
+// experiment: the same world mined through a coord.Pool over n simulated
+// HTTP workers, compared byte-for-byte against the single-process model.
+type CoordinatorRow struct {
+	Workers      int     `json:"workers"`
+	FaultRate    float64 `json:"fault_rate"`
+	Identical    bool    `json:"byte_identical"`
+	Dispatched   int64   `json:"windows_dispatched"`
+	Redispatched int64   `json:"windows_redispatched"`
+	Merged       int64   `json:"windows_merged"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	MergeSeconds float64 `json:"merge_seconds"`
+}
+
+// CoordinatorResult is the distributed-mining experiment's report: the
+// single-process golden run plus one row per cluster size, including a
+// fault-injected row whose re-dispatches must not change a byte. JSON tags
+// match the wiclean-bench report payload (BENCH_5.json).
+type CoordinatorResult struct {
+	Seeds        int              `json:"seeds"`
+	Patterns     int              `json:"patterns"`
+	ModelBytes   int              `json:"model_bytes"`
+	LocalSeconds float64          `json:"local_seconds"`
+	Rows         []CoordinatorRow `json:"rows"`
+}
+
+// coordinatorConfig is the standard walk configuration of the experiment —
+// shared by the golden run and every cluster run, so the provenance
+// fingerprint (and therefore worker authentication) matches across them.
+func coordinatorConfig(cfg Config, reg *obs.Registry) windows.Config {
+	wcfg := windows.Defaults()
+	wcfg.Mining = mining.PM(wcfg.InitialTau)
+	wcfg.Mining.MaxAbstraction = cfg.Abstraction
+	wcfg.Workers = cfg.Workers
+	wcfg.JoinWorkers = cfg.JoinWorkers
+	wcfg.Obs = reg
+	return wcfg
+}
+
+// coordinatorModel serializes an outcome in the persisted model format —
+// the byte-comparison medium, identical to what `wiclean mine -save-model`
+// writes.
+func coordinatorModel(w *World, o *windows.Outcome, prov model.Provenance) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := model.Write(&buf, model.Snapshot(o, w.Reg, prov)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Coordinator runs the distributed window-mining experiment: mine one
+// world single-process (the golden model), then through a coordinator over
+// 1, 2 and 4 httptest workers, and once more at 2 workers under a
+// deterministic dispatch-fault model (every job's first dispatch fails,
+// plus the given random rate). Every cluster run must reproduce the golden
+// model byte-for-byte — completion order, cluster size and injected faults
+// may change wall time and dispatch counts, never output bytes — and the
+// fault run must actually re-dispatch. A violation of either is returned
+// as an error so wiclean-bench (and the CI cluster job) fail loudly.
+func Coordinator(cfg Config, seeds int, faultRate float64) (*CoordinatorResult, error) {
+	w, err := BuildWorld(cfg, synth.Soccer(), seeds)
+	if err != nil {
+		return nil, err
+	}
+	res := &CoordinatorResult{Seeds: seeds}
+
+	localReg := obs.NewRegistry()
+	wcfg := coordinatorConfig(cfg, localReg)
+	prov, err := model.Fingerprint(w.Reg, w.Span, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	o, err := windows.Run(w.Store, w.Seeds, w.Domain.SeedType, w.Span, wcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: coordinator golden run: %w", err)
+	}
+	res.LocalSeconds = time.Since(start).Seconds()
+	golden, err := coordinatorModel(w, o, prov)
+	if err != nil {
+		return nil, err
+	}
+	res.Patterns = len(o.Discovered)
+	res.ModelBytes = len(golden)
+
+	// A fixed fleet of four stateless workers over the same in-memory
+	// store; each run uses a prefix of it. Sharing the store is safe —
+	// workers only read it — and keeps the experiment about coordination,
+	// not data distribution.
+	mcfg := wcfg.Mining
+	servers := make([]*httptest.Server, 4)
+	addrs := make([]string, len(servers))
+	for i := range servers {
+		servers[i] = httptest.NewServer(coord.NewWorker(w.Store, prov, mcfg, nil))
+		defer servers[i].Close()
+		addrs[i] = servers[i].URL
+	}
+
+	runs := []struct {
+		workers int
+		rate    float64
+	}{{1, 0}, {2, 0}, {4, 0}, {2, faultRate}}
+	for _, r := range runs {
+		row, err := coordinatorRun(cfg, w, prov, addrs[:r.workers], r.rate, golden)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+		if !row.Identical {
+			return res, fmt.Errorf("experiments: coordinator run (%d workers, fault rate %.2f) diverged from the single-process model",
+				r.workers, r.rate)
+		}
+		if r.rate > 0 && row.Redispatched == 0 {
+			return res, fmt.Errorf("experiments: coordinator fault run (rate %.2f) never re-dispatched — fault injection is not exercising the retry path", r.rate)
+		}
+	}
+	return res, nil
+}
+
+// coordinatorRun mines the world once through a pool over the given
+// workers and compares the resulting model bytes against the golden run.
+func coordinatorRun(cfg Config, w *World, prov model.Provenance, addrs []string, rate float64, golden []byte) (CoordinatorRow, error) {
+	row := CoordinatorRow{Workers: len(addrs), FaultRate: rate}
+	reg := obs.NewRegistry()
+	var faults source.Faults
+	if rate > 0 {
+		// FailFirst guarantees at least one re-dispatch per job so the
+		// identity claim always covers the retry path; the random rate adds
+		// deterministic (seeded) faults on later attempts too. Generous
+		// attempts with millisecond backoff keep the schedule convergent
+		// without waiting out production delays.
+		faults = source.Faults{Seed: cfg.Seed, Rate: rate, FailFirst: 1}
+	}
+	pool, err := coord.New(addrs, coord.Options{
+		Provenance: prov,
+		Obs:        reg,
+		Faults:     faults,
+		Retry: source.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    5 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return row, err
+	}
+	wcfg := coordinatorConfig(cfg, reg)
+	wcfg.Miner = pool
+	wcfg.Workers = pool.Slots()
+
+	start := time.Now()
+	o, err := windows.Run(w.Store, w.Seeds, w.Domain.SeedType, w.Span, wcfg)
+	if err != nil {
+		return row, fmt.Errorf("experiments: coordinator run (%d workers, fault rate %.2f): %w", len(addrs), rate, err)
+	}
+	row.WallSeconds = time.Since(start).Seconds()
+	mb, err := coordinatorModel(w, o, prov)
+	if err != nil {
+		return row, err
+	}
+	row.Identical = bytes.Equal(golden, mb)
+
+	snap := reg.Snapshot()
+	row.Dispatched = snap.Counters[obs.CoordWindowsDispatched]
+	row.Redispatched = snap.Counters[obs.CoordWindowsRedispatched]
+	row.Merged = snap.Counters[obs.CoordWindowsMerged]
+	row.MergeSeconds = snap.Histograms[obs.WindowsMergeSeconds].Sum
+	return row, nil
+}
+
+// FormatCoordinator renders the distributed-mining experiment report.
+func FormatCoordinator(r *CoordinatorResult) string {
+	header := []string{"workers", "fault rate", "model", "dispatched", "redispatched", "merged", "wall", "merge"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		verdict := "IDENTICAL"
+		if !row.Identical {
+			verdict = "DIVERGED"
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(row.Workers),
+			fmt.Sprintf("%.2f", row.FaultRate),
+			verdict,
+			fmt.Sprint(row.Dispatched),
+			fmt.Sprint(row.Redispatched),
+			fmt.Sprint(row.Merged),
+			fmt.Sprintf("%.2fs", row.WallSeconds),
+			fmt.Sprintf("%.2fms", row.MergeSeconds*1000),
+		})
+	}
+	return fmt.Sprintf("Distributed coordinator (%d seeds, %d patterns, %d model bytes, single-process %.2fs)\n",
+		r.Seeds, r.Patterns, r.ModelBytes, r.LocalSeconds) + renderTable(header, rows)
+}

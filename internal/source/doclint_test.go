@@ -5,6 +5,8 @@ import (
 	"go/parser"
 	"go/token"
 	"io/fs"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -14,12 +16,60 @@ import (
 // the packages this PR documents must carry a doc comment. It keeps the
 // godoc pass honest even where revive is unavailable.
 func TestExportedDeclarationsAreDocumented(t *testing.T) {
-	for _, dir := range []string{".", "../mining", "../windows"} {
+	for _, dir := range []string{".", "../mining", "../windows", "../coord", "../intern", "../pattern", "../logx"} {
 		missing := undocumentedExports(t, dir)
 		if len(missing) > 0 {
 			t.Errorf("%s: exported declarations missing doc comments:\n  %s",
 				dir, strings.Join(missing, "\n  "))
 		}
+	}
+}
+
+// TestInternalPackagesHaveComments walks every package under internal/ and
+// requires a package comment — the one-paragraph "why does this package
+// exist" that godoc leads with. Test-only packages may carry it on a _test
+// file; a package split across files needs it on exactly one of them to
+// count.
+func TestInternalPackagesHaveComments(t *testing.T) {
+	root := ".."
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		documented := false
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					documented = true
+				}
+			}
+		}
+		if !documented {
+			t.Errorf("%s: no file carries a package comment", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -82,10 +82,7 @@ func (s *FaultSource) FetchType(ctx context.Context, t taxonomy.Type, w action.W
 			return nil, err
 		}
 	}
-	fail := n <= s.f.FailFirst
-	if !fail && s.f.Rate > 0 {
-		fail = faultRoll(s.f.Seed, t, n) < s.f.Rate
-	}
+	fail := s.f.Roll(string(t), n)
 	if fail {
 		s.mu.Lock()
 		s.injected++
@@ -108,11 +105,24 @@ func (s *FaultSource) Injected() int {
 	return s.injected
 }
 
-// faultRoll maps (seed, type, attempt) to a deterministic uniform value
+// Roll reports whether attempt n (1-based) of the operation identified by
+// key fails under the fault model — FailFirst scripted failures first, then
+// the Rate-probability decision derived deterministically from (Seed, key,
+// n). FaultSource makes exactly this decision per type fetch; it is
+// exported so non-fetch dispatch paths (the coordinator's window
+// dispatches) share the same reproducible fault model.
+func (f Faults) Roll(key string, n int) bool {
+	if n <= f.FailFirst {
+		return true
+	}
+	return f.Rate > 0 && faultRoll(f.Seed, key, n) < f.Rate
+}
+
+// faultRoll maps (seed, key, attempt) to a deterministic uniform value
 // in [0, 1).
-func faultRoll(seed uint64, t taxonomy.Type, n int) float64 {
+func faultRoll(seed uint64, key string, n int) float64 {
 	h := fnv.New64a()
-	_, _ = h.Write([]byte(t))
+	_, _ = h.Write([]byte(key))
 	x := seed ^ h.Sum64() ^ (uint64(n) * 0x9e3779b97f4a7c15)
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9

@@ -223,26 +223,42 @@ func (e *exhaustedError) Unwrap() []error { return []error{ErrExhausted, e.last}
 // backoff computes the capped exponential delay for retry number k (k>=1)
 // with deterministic jitter seeded by the type name.
 func (s *retrySource) backoff(t taxonomy.Type, k int) time.Duration {
-	d := s.p.BaseDelay
+	return s.p.Backoff(string(t), k)
+}
+
+// Backoff returns the policy's delay before retry number k (k >= 1) of the
+// operation identified by key: BaseDelay·2^(k−1) capped at MaxDelay, spread
+// by the deterministic ±Jitter derived from (key, k). It is the schedule
+// the retry middleware runs on, exported so other retrying clients — the
+// distributed-mining coordinator's window dispatcher — share one backoff
+// policy instead of growing a second, subtly different one.
+func (p RetryPolicy) Backoff(key string, k int) time.Duration {
+	d := p.BaseDelay
 	if d <= 0 {
 		return 0
 	}
 	for i := 1; i < k; i++ {
 		d *= 2
-		if s.p.MaxDelay > 0 && d >= s.p.MaxDelay {
-			d = s.p.MaxDelay
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
 			break
 		}
 	}
-	if s.p.MaxDelay > 0 && d > s.p.MaxDelay {
-		d = s.p.MaxDelay
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
 	}
-	if s.p.Jitter > 0 {
-		u := hashFraction(string(t), uint64(k)) // deterministic in (type, attempt)
-		d = time.Duration(float64(d) * (1 + s.p.Jitter*(2*u-1)))
+	if p.Jitter > 0 {
+		u := hashFraction(key, uint64(k)) // deterministic in (key, attempt)
+		d = time.Duration(float64(d) * (1 + p.Jitter*(2*u-1)))
 	}
 	return d
 }
+
+// SleepContext waits d or until ctx is done, whichever comes first — the
+// wait primitive behind every backoff in the stack, exported for retrying
+// clients outside this package. It honors RetryPolicy.Sleep semantics: a
+// non-positive d returns immediately with ctx's error, if any.
+func SleepContext(ctx context.Context, d time.Duration) error { return sleepCtx(ctx, d) }
 
 // sleepCtx waits d or until ctx is done, whichever comes first.
 func sleepCtx(ctx context.Context, d time.Duration) error {

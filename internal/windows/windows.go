@@ -92,6 +92,45 @@ type Config struct {
 	// "windows.relative" trace per final window. Tracing is observe-only:
 	// the Outcome is identical with a nil Tracer. See internal/obs/trace.
 	Tracer *trace.Tracer
+
+	// Miner, when non-nil, delegates the execution of every per-window
+	// mining job (and the relative stage) to an external executor — the
+	// distributed coordinator (internal/coord) routes each WindowJob to a
+	// wiclean-server worker over HTTP. The refinement walk, the ordered
+	// merge of per-window results and checkpointing all stay in this
+	// process, which is exactly what makes a delegated run byte-identical
+	// to a local one: results are folded in window order regardless of
+	// which worker finished first. Nil mines every window in-process.
+	Miner WindowMiner
+}
+
+// WindowJob is one unit of distributable Algorithm 2 work: mine one window
+// of one refinement step (or, for MineRelative, run the relative stage over
+// one converged window). Seeds are registry entity IDs; a coordinator may
+// only ship them to a worker whose provenance fingerprint matches, which
+// guarantees (via the universe-dump hash) that both registries assign
+// identical IDs.
+type WindowJob struct {
+	Index    int           // window index within the step's split
+	Step     int           // refinement step (the final step for relative jobs)
+	Window   action.Window // the time window to mine
+	Tau      float64       // frequency threshold of this refinement step
+	SeedType taxonomy.Type
+	Seeds    []taxonomy.EntityID
+}
+
+// WindowMiner executes window jobs on behalf of the refinement walk.
+// Implementations must be deterministic in the job — MineWindow must return
+// the result mining.MineContext would produce locally for the same inputs —
+// and safe for concurrent use; Config.Workers jobs are in flight at once.
+type WindowMiner interface {
+	// MineWindow mines one (window, step) job and returns its result.
+	MineWindow(ctx context.Context, job WindowJob) (*mining.Result, error)
+
+	// MineRelative runs the relative-patterns stage (§4.2) over one final
+	// window, returning relative patterns keyed by base-pattern canonical
+	// form. The job's Tau is the converged threshold.
+	MineRelative(ctx context.Context, job WindowJob) (map[string][]mining.RelativePattern, error)
 }
 
 // Defaults returns the paper's default configuration.
@@ -200,10 +239,13 @@ func workerCount(n int) int {
 // results in window order. Each (window, step) job runs under its own
 // trace — tracer.StartRoot, so concurrent windows build disjoint span
 // trees — and records its mining duration in the WindowsMineSeconds
-// histogram with the job's trace ID as the bucket exemplar.
+// histogram with the job's trace ID as the bucket exemplar. With a
+// Miner configured, jobs are handed to it instead of mined in-process;
+// the window-indexed results slice is what keeps the merge order — and
+// therefore the outcome bytes — independent of completion order.
 func mineAll(ctx context.Context, tracer *trace.Tracer, store mining.Store,
 	seeds []taxonomy.EntityID, seedType taxonomy.Type,
-	wins []action.Window, cfg mining.Config, workers, step int) ([]*mining.Result, error) {
+	wins []action.Window, cfg mining.Config, miner WindowMiner, workers, step int) ([]*mining.Result, error) {
 
 	results := make([]*mining.Result, len(wins))
 	errs := make([]error, len(wins))
@@ -219,7 +261,18 @@ func mineAll(ctx context.Context, tracer *trace.Tracer, store mining.Store,
 				root.SetAttrInt("step", int64(step))
 				root.SetAttr("seed_type", string(seedType))
 				root.SetAttrInt("width_days", int64(wins[i].Width()/action.Day))
-				results[i], errs[i] = mining.MineContext(wctx, store, seeds, seedType, wins[i], cfg)
+				if miner != nil {
+					results[i], errs[i] = miner.MineWindow(wctx, WindowJob{
+						Index:    i,
+						Step:     step,
+						Window:   wins[i],
+						Tau:      cfg.Tau,
+						SeedType: seedType,
+						Seeds:    seeds,
+					})
+				} else {
+					results[i], errs[i] = mining.MineContext(wctx, store, seeds, seedType, wins[i], cfg)
+				}
 				if res := results[i]; errs[i] == nil && res != nil {
 					dur := res.Stats.Preprocessing + res.Stats.Mining
 					cfg.Obs.Histogram(obs.WindowsMineSeconds, obs.DurationBuckets).
