@@ -56,13 +56,14 @@ type BenchReport struct {
 	Sources     *experiments.SourcesResult     `json:"sources,omitempty"`
 	Columnar    *experiments.ColumnarResult    `json:"columnar,omitempty"`
 	Coordinator *experiments.CoordinatorResult `json:"coordinator,omitempty"`
+	Serving     *experiments.ServingResult     `json:"serving,omitempty"`
 	Phases      []PhaseReport                  `json:"phases"`
 	Metrics     obs.Snapshot                   `json:"metrics"`
 }
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 4a, 4b, 4c, 4d")
-	exp := flag.String("exp", "", "experiment to run: smalldata, quality, table1, ablations, joinworkers, sources, columnar, coordinator")
+	exp := flag.String("exp", "", "experiment to run: smalldata, quality, table1, ablations, joinworkers, sources, columnar, coordinator, serving")
 	all := flag.Bool("all", false, "run everything")
 	scale := flag.Float64("scale", 1.0, "seed-count scale factor (e.g. 0.2 for quick runs)")
 	seed := flag.Uint64("seed", 1, "generator random seed")
@@ -213,6 +214,17 @@ func main() {
 			return err
 		}
 		report.Coordinator = res
+		return nil
+	})
+	run("serving", "serving", func() error {
+		res, err := experiments.Serving(cfg, sc(100))
+		if res != nil {
+			fmt.Println(experiments.FormatServing(res))
+		}
+		if err != nil {
+			return err
+		}
+		report.Serving = res
 		return nil
 	})
 	run("sources", "sources", func() error {

@@ -1,0 +1,167 @@
+// Command wiclean-loadgen drives /suggest load against a running
+// wiclean-server and reports client-observed latency quantiles,
+// throughput, shed rate, and — when the server's /metrics endpoint is
+// reachable — the server-side shed and response-cache counters for the
+// run.
+//
+//	wiclean-loadgen -url http://127.0.0.1:8754 -data world/actions.jsonl
+//	wiclean-loadgen -url ... -data ... -qps 1000 -duration 10s   # open loop
+//	wiclean-loadgen -url ... -data ... -out load.json            # JSON report
+//
+// The request mix is sampled from a world's actions.jsonl (the file
+// wiclean-gen writes), so every body is a real edit the server can
+// resolve. Closed loop (the default) keeps -concurrency requests in
+// flight; -qps > 0 switches to an open-loop arrival schedule, the honest
+// overload probe.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"wiclean/internal/dump"
+	"wiclean/internal/loadgen"
+	"wiclean/internal/logx"
+	"wiclean/internal/obs"
+	"wiclean/internal/plugin"
+)
+
+// Report is the -out payload: the client-side run plus the server-side
+// counter deltas scraped around it.
+type Report struct {
+	Run           *loadgen.Result    `json:"run"`
+	ServerShed    float64            `json:"server_shed_total,omitempty"`
+	ServerMetrics map[string]float64 `json:"server_metric_deltas,omitempty"`
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8754", "server base URL")
+	data := flag.String("data", "", "actions.jsonl to sample request bodies from (required)")
+	distinct := flag.Int("distinct", 16, "distinct bodies in the request mix")
+	concurrency := flag.Int("concurrency", 8, "closed-loop workers / open-loop in-flight cap")
+	qps := flag.Float64("qps", 0, "open-loop arrival rate (0 = closed loop)")
+	duration := flag.Duration("duration", 5*time.Second, "run length")
+	out := flag.String("out", "", "write a JSON report to this file")
+	flag.Parse()
+
+	lg := logx.New(os.Stderr, slog.LevelInfo)
+	fatal := func(msg string, err error) {
+		lg.Error(msg, slog.Any("error", err))
+		os.Exit(1)
+	}
+	if *data == "" {
+		fatal("flag -data", fmt.Errorf("an actions.jsonl to sample bodies from is required"))
+	}
+	bodies, err := sampleBodies(*data, *distinct)
+	if err != nil {
+		fatal("sampling bodies", err)
+	}
+
+	ctx := context.Background()
+	client := &http.Client{Timeout: 10 * time.Second}
+	before, scrapeErr := loadgen.Scrape(ctx, *url, client)
+	run, err := loadgen.Run(ctx, loadgen.Config{
+		URL:         *url,
+		Bodies:      bodies,
+		Concurrency: *concurrency,
+		QPS:         *qps,
+		Duration:    *duration,
+		Client:      client,
+	})
+	if err != nil {
+		fatal("load run", err)
+	}
+
+	rep := Report{Run: run}
+	if scrapeErr == nil {
+		if after, err := loadgen.Scrape(ctx, *url, client); err == nil {
+			rep.ServerMetrics = loadgen.Delta(before, after)
+			rep.ServerShed = loadgen.SumPrefix(rep.ServerMetrics, obs.HTTPShed)
+		}
+	}
+
+	fmt.Printf("mode %s: %d sent, %d ok (%.0f/s), %d shed (rate %.2f), %d dropped arrivals, %d errors\n",
+		run.Mode, run.Sent, run.OK, run.OKPerSec, run.Shed, run.ShedRate, run.Dropped, run.OtherErrors)
+	fmt.Printf("latency (200s only): p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		run.P50Millis, run.P90Millis, run.P99Millis, run.MaxMillis)
+	if rep.ServerMetrics != nil {
+		hits := loadgen.SumPrefix(rep.ServerMetrics, obs.SuggestCacheHits)
+		misses := loadgen.SumPrefix(rep.ServerMetrics, obs.SuggestCacheMisses)
+		line := fmt.Sprintf("server: shed %.0f", rep.ServerShed)
+		if hits+misses > 0 {
+			line += fmt.Sprintf(", cache hit rate %.2f (%0.f hits / %.0f misses)",
+				hits/(hits+misses), hits, misses)
+		}
+		fmt.Println(line)
+	} else {
+		fmt.Println("server: /metrics unreachable, no server-side counters")
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("creating report", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal("writing report", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("closing report", err)
+		}
+		lg.Info("report written", slog.String("path", *out))
+	}
+}
+
+// sampleBodies reads an actions.jsonl and folds its records into up to n
+// distinct /suggest bodies, spread across the file so the mix covers
+// more than one entity's burst of edits.
+func sampleBodies(path string, n int) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := dump.ReadActions(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s holds no actions", path)
+	}
+	if n < 1 {
+		n = 1
+	}
+	stride := len(recs) / n
+	if stride < 1 {
+		stride = 1
+	}
+	seen := map[string]bool{}
+	var bodies []string
+	for i := 0; i < len(recs) && len(bodies) < n; i += stride {
+		rec := recs[i]
+		b, err := json.Marshal(plugin.SuggestRequest{
+			Subject: rec.Subject,
+			Op:      rec.Op,
+			Label:   rec.Relation,
+			Object:  rec.Object,
+			At:      int64(rec.T),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if seen[string(b)] {
+			continue
+		}
+		seen[string(b)] = true
+		bodies = append(bodies, string(b))
+	}
+	return bodies, nil
+}

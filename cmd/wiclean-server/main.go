@@ -238,8 +238,13 @@ func main() {
 	workerMode := flag.Bool("worker", false, "serve as a distributed-mining worker: no mining at startup, only /healthz, /metrics, /history and POST /mine")
 	debug := flag.Bool("debug", false, "expose /debug/vars and /debug/pprof/")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-	modelPath := flag.String("model", "", "serve a saved wiclean-model file instead of mining at startup")
+	modelPath := flag.String("model", "", "serve a saved wiclean-model file instead of mining at startup; SIGHUP re-reads it and hot-swaps the served model")
 	saveModel := flag.String("save-model", "", "after mining, save the model to this file")
+	suggestQPS := flag.Float64("suggest-qps", 0, "per-client /suggest token-bucket rate in requests/second (0 = unlimited)")
+	suggestBurst := flag.Float64("suggest-burst", 0, "per-client /suggest burst size (0 = 2x -suggest-qps, min 1)")
+	suggestQueue := flag.Int("suggest-queue", 0, "bounded accept queue: max concurrently admitted /suggest requests; excess is shed with 429 (0 = unbounded)")
+	suggestCache := flag.Int("suggest-cache", 16<<20, "memory tier of the /suggest response cache in bytes (0 disables caching)")
+	suggestCacheDir := flag.String("suggest-cache-dir", "", "optional disk tier of the /suggest response cache (promote-on-hit)")
 	checkpoint := flag.String("checkpoint", "", "persist refinement state here; a restarted server resumes mining from it")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint every Nth refinement iteration (0 = every)")
 	traceOut := flag.String("trace-out", "", "append exported traces to this JSONL file (analyze with wiclean-trace)")
@@ -342,6 +347,9 @@ func main() {
 		)
 	} else {
 		how := "mined"
+		// The served model's provenance hash keys the /suggest response
+		// cache; a hot reload flips it, invalidating every cached entry.
+		servedFP := prov.Hash
 		if *modelPath != "" {
 			// Warm start: serve a persisted model without invoking the miner.
 			// Verify rejects a model recorded against different data or
@@ -354,6 +362,7 @@ func main() {
 				fatal("verifying model", err)
 			}
 			sys.UseOutcome(f.Outcome())
+			servedFP = f.Provenance.Hash
 			how = "loaded from " + *modelPath
 		} else {
 			if *checkpoint != "" {
@@ -374,6 +383,54 @@ func main() {
 			fatal("building server", err)
 		}
 		srv.WithTracer(tracer).WithLogger(lg, *traceSlow).WithWorker(mineWorker)
+		srv.WithFingerprint(servedFP)
+		if *suggestQPS > 0 {
+			burst := *suggestBurst
+			if burst <= 0 {
+				burst = 2 * *suggestQPS
+			}
+			srv.WithLimiter(plugin.NewLimiter(plugin.LimiterConfig{
+				Rate:  *suggestQPS,
+				Burst: burst,
+			}, metrics))
+		}
+		srv.WithQueue(plugin.NewAcceptQueue(*suggestQueue, metrics))
+		if *suggestCacheDir != "" {
+			// Disk-tier I/O errors degrade to cache misses by design, so a
+			// missing directory would silently disable the tier — create it
+			// up front and fail loudly if we cannot.
+			if err := os.MkdirAll(*suggestCacheDir, 0o755); err != nil {
+				fatal("creating -suggest-cache-dir", err)
+			}
+		}
+		srv.WithCache(plugin.NewResponseCache(plugin.CacheConfig{
+			MaxBytes: *suggestCache,
+			Dir:      *suggestCacheDir,
+		}, metrics))
+		if *modelPath != "" {
+			// Hot reload: SIGHUP re-reads -model and atomically swaps the
+			// served system. The file must describe the same universe the
+			// server loaded (entity IDs must resolve against the serving
+			// registry), but span and mining knobs may differ — that is the
+			// point of swapping in a re-mined model. The new fingerprint
+			// invalidates the /suggest response cache; a failed load keeps
+			// the old model serving.
+			reload := func() (*core.System, string, error) {
+				f, err := model.Load(*modelPath, metrics)
+				if err != nil {
+					return nil, "", err
+				}
+				if f.Provenance.Universe != prov.Universe {
+					return nil, "", fmt.Errorf("reload %s: model universe %s does not match serving universe %s",
+						*modelPath, f.Provenance.Universe, prov.Universe)
+				}
+				nsys := core.New(w.store, cfg).WithObs(metrics).WithTracer(tracer)
+				nsys.UseOutcome(f.Outcome())
+				return nsys, f.Provenance.Hash, nil
+			}
+			stopReload := srv.ReloadOnSIGHUP(reload, lg)
+			defer stopReload()
+		}
 		if *debug {
 			srv.EnableDebug()
 		}

@@ -1,0 +1,305 @@
+// Package loadgen drives /suggest load against a running wiclean server
+// and reports what the serving layer did with it: client-observed
+// latency quantiles, throughput, and the shed behavior (429s and their
+// Retry-After hints). It is the measurement engine behind both
+// cmd/wiclean-loadgen and the serving experiment in
+// internal/experiments.
+//
+// Two generation modes:
+//
+//   - Closed loop (QPS == 0): Concurrency workers each keep exactly one
+//     request in flight, issuing the next the moment the previous one
+//     answers. Offered load adapts to the server — the classic
+//     saturation probe.
+//   - Open loop (QPS > 0): arrivals fire on a fixed schedule regardless
+//     of completions, like independent editors who do not coordinate.
+//     Offered load does not let up when the server slows, which is what
+//     makes open loop the honest overload test: an unprotected server
+//     collapses, a shedding server answers 429 quickly and keeps its
+//     served latency bounded.
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes one load run.
+type Config struct {
+	// URL is the server base, e.g. http://127.0.0.1:8754.
+	URL string
+	// Bodies is the request mix: JSON /suggest bodies issued round-robin.
+	// Repeats of the cycle are what a response cache can serve; a mix of
+	// n distinct bodies over many requests approaches an (r−n)/r hit rate.
+	Bodies []string
+	// Concurrency is the closed-loop worker count (minimum 1). In open
+	// loop it caps concurrently outstanding requests instead; arrivals
+	// beyond the cap when due are counted as Dropped rather than delayed,
+	// keeping the schedule honest.
+	Concurrency int
+	// QPS > 0 selects open loop at that arrival rate.
+	QPS float64
+	// Duration bounds the run.
+	Duration time.Duration
+	// Client overrides the HTTP client (default: 10s timeout).
+	Client *http.Client
+}
+
+// Result is one run's report. Latency quantiles cover OK (200) answers
+// only: shed responses return in microseconds and would make an
+// overloaded server look fast exactly when it is drowning.
+type Result struct {
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Sent        int64   `json:"sent"`
+	OK          int64   `json:"ok"`
+	Shed        int64   `json:"shed_429"`
+	ShedHinted  int64   `json:"shed_with_retry_after"`
+	Dropped     int64   `json:"dropped_arrivals"`    // open loop: due past the in-flight cap
+	CutOff      int64   `json:"cut_off_by_deadline"` // in flight when the run's own deadline hit
+	OtherErrors int64   `json:"other_errors"`
+	Seconds     float64 `json:"seconds"`
+	OKPerSec    float64 `json:"ok_per_second"`
+	ShedRate    float64 `json:"shed_rate"` // shed / (ok + shed)
+	P50Millis   float64 `json:"p50_ms"`
+	P90Millis   float64 `json:"p90_ms"`
+	P99Millis   float64 `json:"p99_ms"`
+	MaxMillis   float64 `json:"max_ms"`
+}
+
+// Run generates load per cfg until Duration elapses or ctx ends.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.URL == "" || len(cfg.Bodies) == 0 {
+		return nil, fmt.Errorf("loadgen: need a URL and at least one body")
+	}
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	res := &Result{Mode: "closed"}
+	if cfg.QPS > 0 {
+		res.Mode = "open"
+	}
+	var (
+		seq       atomic.Int64
+		sent      atomic.Int64
+		okCount   atomic.Int64
+		shed      atomic.Int64
+		hinted    atomic.Int64
+		cutOff    atomic.Int64
+		otherErrs atomic.Int64
+		mu        sync.Mutex
+		lats      []time.Duration
+	)
+	doOne := func() {
+		body := cfg.Bodies[int(seq.Add(1)-1)%len(cfg.Bodies)]
+		sent.Add(1)
+		start := time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			cfg.URL+"/suggest", strings.NewReader(body))
+		if err != nil {
+			otherErrs.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			// Requests cut off by the run deadline are not server errors,
+			// but they are counted so Sent always balances against the
+			// outcome columns: Sent == OK + Shed + CutOff + OtherErrors.
+			if ctx.Err() != nil {
+				cutOff.Add(1)
+			} else {
+				otherErrs.Add(1)
+			}
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			okCount.Add(1)
+			lat := time.Since(start)
+			mu.Lock()
+			lats = append(lats, lat)
+			mu.Unlock()
+		case http.StatusTooManyRequests:
+			shed.Add(1)
+			if resp.Header.Get("Retry-After") != "" {
+				hinted.Add(1)
+			}
+		default:
+			otherErrs.Add(1)
+		}
+	}
+
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	if cfg.QPS <= 0 {
+		for i := 0; i < cfg.Concurrency; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					doOne()
+				}
+			}()
+		}
+	} else {
+		// Open loop: a pacer fires arrivals on schedule into a bounded
+		// in-flight pool. An arrival due while the pool is saturated is
+		// dropped (and counted), never queued — queuing arrivals would
+		// quietly convert the open loop back into a closed one.
+		slots := make(chan struct{}, cfg.Concurrency)
+		interval := time.Duration(float64(time.Second) / cfg.QPS)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+	pace:
+		for {
+			select {
+			case <-ctx.Done():
+				break pace
+			case <-ticker.C:
+				select {
+				case slots <- struct{}{}:
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						defer func() { <-slots }()
+						doOne()
+					}()
+				default:
+					res.Dropped++
+				}
+			}
+		}
+	}
+	wg.Wait()
+
+	res.Seconds = time.Since(wallStart).Seconds()
+	res.Sent = sent.Load()
+	res.OK = okCount.Load()
+	res.Shed = shed.Load()
+	res.ShedHinted = hinted.Load()
+	res.CutOff = cutOff.Load()
+	res.OtherErrors = otherErrs.Load()
+	if res.Seconds > 0 {
+		res.OKPerSec = float64(res.OK) / res.Seconds
+	}
+	if answered := res.OK + res.Shed; answered > 0 {
+		res.ShedRate = float64(res.Shed) / float64(answered)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.P50Millis = quantileMillis(lats, 0.50)
+	res.P90Millis = quantileMillis(lats, 0.90)
+	res.P99Millis = quantileMillis(lats, 0.99)
+	if n := len(lats); n > 0 {
+		res.MaxMillis = float64(lats[n-1]) / float64(time.Millisecond)
+	}
+	return res, nil
+}
+
+// quantileMillis reads the q-quantile of sorted latencies (nearest-rank).
+func quantileMillis(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// Scrape fetches url+"/metrics" and parses the Prometheus text
+// exposition into sample values keyed by full series name (including
+// any label block). Histogram sub-series keep their _count/_sum/bucket
+// suffixes.
+func Scrape(ctx context.Context, url string, client *http.Client) (map[string]float64, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape: /metrics answered %s", resp.Status)
+	}
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// An OpenMetrics exemplar (" # {trace_id=...} 0.0042") trails the
+		// sample value; strip it before splitting off the value itself.
+		if ex := strings.Index(line, " # "); ex >= 0 {
+			line = strings.TrimSpace(line[:ex])
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			continue
+		}
+		samples[line[:cut]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: scrape: %w", err)
+	}
+	return samples, nil
+}
+
+// SumPrefix sums every sample whose series name starts with prefix —
+// e.g. SumPrefix(s, "wiclean_http_shed_total") folds the per-reason
+// labeled shed counters into one number.
+func SumPrefix(samples map[string]float64, prefix string) float64 {
+	var sum float64
+	for name, v := range samples {
+		if strings.HasPrefix(name, prefix) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Delta subtracts two scrapes series-by-series and returns after−before
+// for every series present in after. Missing before-values count as 0,
+// so a counter that first moved mid-run still reports its full growth.
+func Delta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(after))
+	for name, v := range after {
+		out[name] = v - before[name]
+	}
+	return out
+}

@@ -125,10 +125,44 @@ const (
 
 	// HTTP surface (internal/plugin). Both carry a path label; the
 	// request counter adds a status-class code label. Panics counts
-	// requests answered 500 by the recover middleware.
+	// requests answered 500 by the recover middleware. Shed counts
+	// requests answered 429 by the serving-layer admission path and
+	// carries a reason label ("rate" = per-client token bucket,
+	// "queue" = bounded accept queue full).
 	HTTPRequests       = "wiclean_http_requests_total"
 	HTTPRequestSeconds = "wiclean_http_request_duration_seconds"
 	HTTPPanics         = "wiclean_http_panics_total"
+	HTTPShed           = "wiclean_http_shed_total"
+
+	// High-QPS serving layer (internal/plugin): the per-client token-bucket
+	// limiter and the bounded accept queue in front of /suggest. Allowed and
+	// limited partition limiter decisions; the clients gauge tracks resident
+	// buckets (bounded by the limiter's MaxClients); queue depth is the
+	// number of admitted in-flight /suggest computations.
+	LimiterAllowed    = "wiclean_limiter_allowed_total"
+	LimiterLimited    = "wiclean_limiter_limited_total"
+	LimiterClients    = "wiclean_limiter_clients"
+	LimiterQueueDepth = "wiclean_limiter_queue_depth"
+
+	// Layered /suggest response cache (internal/plugin): hits/misses count
+	// lookups against the memory tier; disk hits count misses served (and
+	// promoted) from the disk tier; evictions/bytes/entries describe the
+	// memory tier; coalesced counts requests that waited on another
+	// identical in-flight computation instead of recomputing.
+	SuggestCacheHits      = "wiclean_suggest_cache_hits_total"
+	SuggestCacheMisses    = "wiclean_suggest_cache_misses_total"
+	SuggestCacheDiskHits  = "wiclean_suggest_cache_disk_hits_total"
+	SuggestCacheEvictions = "wiclean_suggest_cache_evictions_total"
+	SuggestCacheBytes     = "wiclean_suggest_cache_bytes"
+	SuggestCacheEntries   = "wiclean_suggest_cache_entries"
+	SuggestCoalesced      = "wiclean_suggest_coalesced_total"
+
+	// SIGHUP model hot reload (internal/plugin): swaps partition into
+	// successes and failures (a failed reload keeps serving the old
+	// model); the histogram times the rebuild (detect + assistant index).
+	ReloadTotal   = "wiclean_reload_total"
+	ReloadErrors  = "wiclean_reload_errors_total"
+	ReloadSeconds = "wiclean_reload_duration_seconds"
 
 	// Span aggregates render under this summary name with a span label.
 	SpanSeconds = "wiclean_span_duration_seconds"

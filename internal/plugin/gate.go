@@ -3,6 +3,7 @@ package plugin
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -28,17 +29,28 @@ func NewGate() *Gate {
 	return g
 }
 
-// serveWarming is the pre-ready surface: alive, not ready.
+// warmingRetryAfter is the backoff hint on every warming 503. Mining can
+// take minutes, but a warm start flips the gate in milliseconds — a few
+// seconds keeps well-behaved clients from hammering either way without
+// parking them long past readiness.
+const warmingRetryAfter = 5
+
+// serveWarming is the pre-ready surface: alive, not ready. Both 503
+// shapes carry Retry-After (via the same helper as the serving layer's
+// shed 429), so a client that respects the header backs off instead of
+// hammering a warming server.
 func serveWarming(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/healthz":
 		writeJSON(w, map[string]any{"ok": true, "ready": false})
 	case "/readyz":
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", strconv.Itoa(warmingRetryAfter))
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_ = json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "mining in progress"})
 	default:
-		httpError(w, http.StatusServiceUnavailable, "warming up: model not yet mined")
+		httpRetryable(w, http.StatusServiceUnavailable, warmingRetryAfter,
+			"warming up: model not yet mined")
 	}
 }
 

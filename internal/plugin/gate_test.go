@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -62,6 +63,31 @@ func TestGateWarmingThenReady(t *testing.T) {
 	}
 	if code, body := get("/patterns"); code != http.StatusOK || body != "live:/patterns" {
 		t.Fatalf("ready API = %d %q", code, body)
+	}
+}
+
+// TestWarmingRetryAfter pins the back-off contract of the warming
+// surface: both 503 shapes — /readyz and the catch-all — carry a
+// Retry-After hint (the same helper the serving layer's shed 429 uses),
+// so a client that respects the header backs off instead of hammering a
+// warming server.
+func TestWarmingRetryAfter(t *testing.T) {
+	gate := NewGate()
+	ts := httptest.NewServer(gate)
+	defer ts.Close()
+
+	for _, path := range []string{"/readyz", "/patterns", "/suggest"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("warming %s = %d, want 503", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != strconv.Itoa(warmingRetryAfter) {
+			t.Fatalf("warming %s Retry-After = %q, want %d", path, got, warmingRetryAfter)
+		}
 	}
 }
 

@@ -1,0 +1,173 @@
+package plugin
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+
+	"wiclean/internal/obs"
+)
+
+// LimiterConfig sizes the per-client token-bucket limiter.
+type LimiterConfig struct {
+	// Rate is the sustained request rate (tokens per second) granted to
+	// each client. Non-positive disables the limiter entirely.
+	Rate float64
+	// Burst is the bucket capacity — how many requests a client may issue
+	// back-to-back before the sustained rate applies. Values below 1 are
+	// raised to 1 so a conforming client is never starved.
+	Burst float64
+	// MaxClients bounds the resident bucket map; the least recently seen
+	// client is evicted beyond it (an evicted client restarts with a full
+	// bucket, which errs toward admission, never toward starvation).
+	// Non-positive defaults to 4096.
+	MaxClients int
+}
+
+// defaultMaxClients bounds the bucket map when LimiterConfig.MaxClients
+// is unset.
+const defaultMaxClients = 4096
+
+// Limiter is a per-client token-bucket rate limiter: each client key
+// (typically the request's remote host) owns a bucket refilled at Rate
+// tokens per second up to Burst. Allow spends one token when available
+// and otherwise reports the wait until the next token — the shed
+// response's Retry-After hint. The zero value is not usable; construct
+// with NewLimiter.
+type Limiter struct {
+	cfg LimiterConfig
+	obs *obs.Registry
+	now func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets map[string]*list.Element
+	lru     *list.List // front = most recently seen client
+}
+
+// bucket is one client's token store.
+type bucket struct {
+	key    string
+	tokens float64
+	last   time.Time // last refill instant
+}
+
+// NewLimiter returns a limiter over cfg reporting into reg (nil-safe).
+func NewLimiter(cfg LimiterConfig, reg *obs.Registry) *Limiter {
+	if cfg.Burst < 1 {
+		cfg.Burst = 1
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = defaultMaxClients
+	}
+	return &Limiter{
+		cfg:     cfg,
+		obs:     reg,
+		now:     time.Now,
+		buckets: map[string]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// withClock substitutes the limiter's clock — test hook.
+func (l *Limiter) withClock(now func() time.Time) *Limiter {
+	l.now = now
+	return l
+}
+
+// Allow spends one token from the client's bucket. When the bucket is
+// empty it returns false plus the duration until the next token accrues —
+// the Retry-After hint for the 429. A limiter built with Rate <= 0
+// admits everything.
+func (l *Limiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.cfg.Rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.bucketLocked(client, now)
+	// Refill continuously at Rate, capped at Burst.
+	b.tokens = math.Min(l.cfg.Burst, b.tokens+now.Sub(b.last).Seconds()*l.cfg.Rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		l.obs.Counter(obs.LimiterAllowed).Inc()
+		return true, 0
+	}
+	l.obs.Counter(obs.LimiterLimited).Inc()
+	wait := time.Duration((1 - b.tokens) / l.cfg.Rate * float64(time.Second))
+	return false, wait
+}
+
+// bucketLocked returns (creating if needed) the client's bucket, keeps
+// the LRU order, and evicts the least recently seen client beyond
+// MaxClients. Callers hold l.mu.
+func (l *Limiter) bucketLocked(client string, now time.Time) *bucket {
+	if el, ok := l.buckets[client]; ok {
+		l.lru.MoveToFront(el)
+		return el.Value.(*bucket)
+	}
+	b := &bucket{key: client, tokens: l.cfg.Burst, last: now}
+	l.buckets[client] = l.lru.PushFront(b)
+	for len(l.buckets) > l.cfg.MaxClients {
+		back := l.lru.Back()
+		if back == nil {
+			break
+		}
+		delete(l.buckets, back.Value.(*bucket).key)
+		l.lru.Remove(back)
+	}
+	l.obs.Gauge(obs.LimiterClients).Set(float64(len(l.buckets)))
+	return b
+}
+
+// Clients returns the resident bucket count — test and ops visibility.
+func (l *Limiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// AcceptQueue bounds the number of concurrently admitted /suggest
+// computations. A request beyond the bound is shed immediately with a
+// 429 instead of queueing unboundedly — under overload the server's
+// latency stays bounded because work in the system is bounded
+// (Little's law), and well-behaved clients back off on Retry-After.
+type AcceptQueue struct {
+	slots chan struct{}
+	obs   *obs.Registry
+}
+
+// NewAcceptQueue returns a queue admitting at most depth concurrent
+// requests; depth <= 0 disables the bound (a nil queue).
+func NewAcceptQueue(depth int, reg *obs.Registry) *AcceptQueue {
+	if depth <= 0 {
+		return nil
+	}
+	return &AcceptQueue{slots: make(chan struct{}, depth), obs: reg}
+}
+
+// Acquire claims a slot without blocking; false means the queue is full
+// and the request must be shed. Nil-safe: a nil queue always admits.
+func (q *AcceptQueue) Acquire() bool {
+	if q == nil {
+		return true
+	}
+	select {
+	case q.slots <- struct{}{}:
+		q.obs.Gauge(obs.LimiterQueueDepth).Set(float64(len(q.slots)))
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot claimed by Acquire. Nil-safe.
+func (q *AcceptQueue) Release() {
+	if q == nil {
+		return
+	}
+	<-q.slots
+	q.obs.Gauge(obs.LimiterQueueDepth).Set(float64(len(q.slots)))
+}

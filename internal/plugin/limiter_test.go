@@ -1,0 +1,123 @@
+package plugin
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wiclean/internal/obs"
+)
+
+// TestLimiterBurstAndRefill pins the token-bucket contract on a frozen
+// clock: Burst requests pass back-to-back, the next is rejected with a
+// positive Retry-After hint, tokens refill continuously at Rate, and a
+// long idle caps the bucket at Burst instead of accruing unbounded
+// credit.
+func TestLimiterBurstAndRefill(t *testing.T) {
+	now := time.Unix(0, 0)
+	reg := obs.NewRegistry()
+	l := NewLimiter(LimiterConfig{Rate: 2, Burst: 3}, reg).withClock(func() time.Time { return now })
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("c"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, wait := l.Allow("c")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("retry hint = %v, want within (0s, 1s] at 2 rps", wait)
+	}
+
+	// Half a second accrues exactly one token at 2 rps.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := l.Allow("c"); !ok {
+		t.Fatal("refilled token rejected")
+	}
+	if ok, _ := l.Allow("c"); ok {
+		t.Fatal("second request on one refilled token admitted")
+	}
+
+	// An hour idle refills to Burst, not to elapsed × Rate.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.Allow("c"); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("after idle %d requests admitted, want Burst = 3", admitted)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters[obs.LimiterAllowed] == 0 || snap.Counters[obs.LimiterLimited] == 0 {
+		t.Fatalf("limiter decisions unreported: %v", snap.Counters)
+	}
+}
+
+// TestLimiterClientsIndependentAndBounded checks that clients own
+// independent buckets and the resident map is LRU-bounded at
+// MaxClients; an evicted client restarts with a full bucket (the bound
+// errs toward admission, never starvation).
+func TestLimiterClientsIndependentAndBounded(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 1, MaxClients: 4}, nil).
+		withClock(func() time.Time { return now })
+
+	for i := 0; i < 8; i++ {
+		if ok, _ := l.Allow(fmt.Sprintf("c%d", i)); !ok {
+			t.Fatalf("client c%d should not share another client's empty bucket", i)
+		}
+	}
+	if got := l.Clients(); got != 4 {
+		t.Fatalf("resident clients = %d, want MaxClients = 4", got)
+	}
+	// c0 was evicted above; on return it gets a fresh bucket.
+	if ok, _ := l.Allow("c0"); !ok {
+		t.Fatal("evicted client should restart with a full bucket")
+	}
+}
+
+// TestLimiterDisabledAdmitsEverything pins the two off switches: a nil
+// limiter and a Rate <= 0 limiter both admit unconditionally.
+func TestLimiterDisabledAdmitsEverything(t *testing.T) {
+	var nilL *Limiter
+	if ok, _ := nilL.Allow("x"); !ok {
+		t.Fatal("nil limiter rejected a request")
+	}
+	l := NewLimiter(LimiterConfig{Rate: 0}, nil)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("x"); !ok {
+			t.Fatal("Rate 0 limiter rejected a request")
+		}
+	}
+}
+
+// TestAcceptQueueBoundsAndReleases pins the bounded accept queue: depth
+// slots, non-blocking rejection beyond them, reusable after Release, and
+// the nil (unbounded) shape.
+func TestAcceptQueueBoundsAndReleases(t *testing.T) {
+	q := NewAcceptQueue(2, obs.NewRegistry())
+	if !q.Acquire() || !q.Acquire() {
+		t.Fatal("admissions within depth rejected")
+	}
+	if q.Acquire() {
+		t.Fatal("third concurrent admission past depth 2")
+	}
+	q.Release()
+	if !q.Acquire() {
+		t.Fatal("released slot not reusable")
+	}
+
+	var unbounded *AcceptQueue
+	if !unbounded.Acquire() {
+		t.Fatal("nil queue must admit")
+	}
+	unbounded.Release() // must not panic
+	if NewAcceptQueue(0, nil) != nil {
+		t.Fatal("depth 0 should disable the queue")
+	}
+}

@@ -1,0 +1,84 @@
+package plugin
+
+import (
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wiclean/internal/core"
+	"wiclean/internal/obs"
+)
+
+// Swap atomically replaces the serving core with a freshly mined or
+// loaded system: error reports and the assistant's suggestion index are
+// rebuilt eagerly (the expensive part happens before any request can
+// observe the new state), then one atomic pointer store flips new
+// requests onto the new model. In-flight requests loaded the old state
+// pointer at entry and finish on it — nothing is dropped, locked or
+// restarted. The fingerprint becomes the new response-cache key prefix,
+// so every entry cached under the old model is unreachable the same
+// instant; requests after the swap recompute and re-cache under the new
+// fingerprint. The new system must serve the same revision store the
+// server was built over (/history resolves the store at mount time).
+func (s *Server) Swap(sys *core.System, fingerprint string) error {
+	start := time.Now()
+	st, err := buildState(sys, s.workers, fingerprint)
+	if err != nil {
+		s.obs.Counter(obs.ReloadErrors).Inc()
+		return err
+	}
+	s.state.Store(st)
+	s.obs.Counter(obs.ReloadTotal).Inc()
+	s.obs.Histogram(obs.ReloadSeconds, obs.DurationBuckets).ObserveDuration(time.Since(start))
+	return nil
+}
+
+// Fingerprint returns the provenance hash of the model currently being
+// served — flipped by Swap, surfaced for tests and ops.
+func (s *Server) Fingerprint() string { return s.state.Load().fingerprint }
+
+// LoadFunc produces a replacement serving system plus its provenance
+// fingerprint — typically by re-reading the -model file (see
+// cmd/wiclean-server). It runs outside the request path; an error keeps
+// the old model serving.
+type LoadFunc func() (*core.System, string, error)
+
+// ReloadOnSIGHUP installs the operator-facing hot-reload loop: each
+// SIGHUP runs load and, on success, Swaps the result in — so `kill -HUP`
+// after replacing the model file serves the new model with zero dropped
+// in-flight requests and an automatically invalidated response cache. A
+// failed load is counted, logged (nil-safe) and otherwise ignored: the
+// old model keeps serving. The returned stop function ends the loop.
+func (s *Server) ReloadOnSIGHUP(load LoadFunc, lg *slog.Logger) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-ch:
+			}
+			sys, fp, err := load()
+			if err == nil {
+				err = s.Swap(sys, fp)
+			} else {
+				s.obs.Counter(obs.ReloadErrors).Inc()
+			}
+			if lg != nil {
+				if err != nil {
+					lg.Error("model reload failed; keeping current model", slog.Any("error", err))
+				} else {
+					lg.Info("model reloaded", slog.String("fingerprint", fp))
+				}
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -1,0 +1,267 @@
+package plugin
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"wiclean/internal/obs"
+)
+
+// CacheConfig sizes the layered /suggest response cache.
+type CacheConfig struct {
+	// MaxBytes caps the memory tier (sum of cached response bodies).
+	// Non-positive disables the cache entirely.
+	MaxBytes int
+	// Dir, when set, adds a disk tier: every insert is written through to
+	// a content-addressed file under Dir, and a memory miss that finds its
+	// file is promoted back into the memory tier. The tier is best-effort —
+	// disk errors degrade to a miss, never to a serving failure.
+	Dir string
+	// MaxDiskBytes caps the disk tier; oldest files are pruned beyond it.
+	// Non-positive defaults to 16× MaxBytes.
+	MaxDiskBytes int64
+}
+
+// ResponseCache is the layered suggestion-response cache: a memory LRU
+// of serialized /suggest bodies in front of an optional disk tier, with
+// promote-on-hit from disk to memory. Keys embed the serving model's
+// provenance fingerprint (see suggestKey), so a model hot-swap flips
+// every key and stale entries become unreachable without an explicit
+// flush — they age out by LRU. Cached bodies are exactly the bytes the
+// compute path would write, so responses are byte-identical with the
+// cache on or off.
+type ResponseCache struct {
+	cfg CacheConfig
+	obs *obs.Registry
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	bytes   int
+}
+
+// cachedResponse is one resident response body.
+type cachedResponse struct {
+	key  string
+	body []byte
+}
+
+// NewResponseCache returns a cache over cfg reporting into reg
+// (nil-safe). A cfg.MaxBytes <= 0 returns nil — the serving path treats
+// a nil cache as "always miss, never insert".
+func NewResponseCache(cfg CacheConfig, reg *obs.Registry) *ResponseCache {
+	if cfg.MaxBytes <= 0 {
+		return nil
+	}
+	if cfg.Dir != "" && cfg.MaxDiskBytes <= 0 {
+		cfg.MaxDiskBytes = 16 * int64(cfg.MaxBytes)
+	}
+	return &ResponseCache{
+		cfg:     cfg,
+		obs:     reg,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// suggestKey canonicalizes one /suggest computation: the serving model's
+// provenance fingerprint plus the validated request fields, with the
+// op's empty spelling folded into "+" so the two spellings of the same
+// edit share an entry. The fingerprint prefix is what invalidates the
+// whole cache on a model swap.
+func suggestKey(fingerprint, subject, op, label, object string, at int64) string {
+	if op == "" {
+		op = "+"
+	}
+	h := sha256.New()
+	// A length-prefixed field encoding keeps distinct requests from
+	// colliding through separator injection in entity names.
+	var buf [8]byte
+	writeField := func(s string) {
+		n := len(s)
+		for i := range buf {
+			buf[i] = byte(n >> (8 * i))
+		}
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	writeField(fingerprint)
+	writeField(subject)
+	writeField(op)
+	writeField(label)
+	writeField(object)
+	for i := range buf {
+		buf[i] = byte(uint64(at) >> (8 * i))
+	}
+	h.Write(buf[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Get serves the cached body for key: memory first, then the disk tier
+// (promoting the file's bytes into memory on hit). Nil-safe: a nil
+// cache always misses. The returned slice must not be mutated.
+func (c *ResponseCache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		body := el.Value.(*cachedResponse).body
+		c.mu.Unlock()
+		c.obs.Counter(obs.SuggestCacheHits).Inc()
+		return body, true
+	}
+	c.mu.Unlock()
+	if body, ok := c.diskGet(key); ok {
+		c.obs.Counter(obs.SuggestCacheDiskHits).Inc()
+		c.insert(key, body) // promote-on-hit
+		return body, true
+	}
+	c.obs.Counter(obs.SuggestCacheMisses).Inc()
+	return nil, false
+}
+
+// Put inserts a freshly computed body under key, writing through to the
+// disk tier when configured. Nil-safe no-op.
+func (c *ResponseCache) Put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	c.insert(key, body)
+	c.diskPut(key, body)
+}
+
+// insert adds body to the memory tier and evicts LRU entries beyond
+// MaxBytes. Bodies larger than the whole tier are served but not
+// retained.
+func (c *ResponseCache) insert(key string, body []byte) {
+	if len(body) > c.cfg.MaxBytes {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok { // racing compute: refresh in place
+		old := el.Value.(*cachedResponse)
+		c.bytes += len(body) - len(old.body)
+		old.body = body
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&cachedResponse{key: key, body: body})
+		c.bytes += len(body)
+	}
+	for c.bytes > c.cfg.MaxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*cachedResponse)
+		c.lru.Remove(back)
+		delete(c.entries, ev.key)
+		c.bytes -= len(ev.body)
+		c.obs.Counter(obs.SuggestCacheEvictions).Inc()
+	}
+	bytes, entries := c.bytes, len(c.entries)
+	c.mu.Unlock()
+	c.obs.Gauge(obs.SuggestCacheBytes).Set(float64(bytes))
+	c.obs.Gauge(obs.SuggestCacheEntries).Set(float64(entries))
+}
+
+// Len reports the memory tier's entry count — test visibility.
+func (c *ResponseCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// diskPath content-addresses a key inside the disk tier.
+func (c *ResponseCache) diskPath(key string) string {
+	return filepath.Join(c.cfg.Dir, key+".body")
+}
+
+// diskGet reads the disk tier; any error is a miss.
+func (c *ResponseCache) diskGet(key string) ([]byte, bool) {
+	if c.cfg.Dir == "" {
+		return nil, false
+	}
+	body, err := os.ReadFile(c.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	return body, true
+}
+
+// diskPut writes body through to the disk tier (temp file + rename, so a
+// crash never leaves a torn entry) and prunes the oldest files beyond
+// MaxDiskBytes. All errors are swallowed: the disk tier is an
+// optimization, never a correctness dependency.
+func (c *ResponseCache) diskPut(key string, body []byte) {
+	if c.cfg.Dir == "" {
+		return
+	}
+	path := c.diskPath(key)
+	tmp, err := os.CreateTemp(c.cfg.Dir, ".body*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return
+	}
+	c.diskPrune()
+}
+
+// diskPrune drops the oldest tier files until the byte cap holds again.
+func (c *ResponseCache) diskPrune() {
+	des, err := os.ReadDir(c.cfg.Dir)
+	if err != nil {
+		return
+	}
+	type tierFile struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	var files []tierFile
+	var total int64
+	for _, de := range des {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".body" {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, tierFile{de.Name(), fi.Size(), fi.ModTime().UnixNano()})
+		total += fi.Size()
+	}
+	if total <= c.cfg.MaxDiskBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= c.cfg.MaxDiskBytes {
+			break
+		}
+		if os.Remove(filepath.Join(c.cfg.Dir, f.name)) == nil {
+			total -= f.size
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package plugin
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"wiclean/internal/obs"
+)
+
+// TestResponseCacheLRUEviction pins the memory tier: inserts beyond
+// MaxBytes evict the least recently used entry, hits refresh recency,
+// and a body larger than the whole tier is served but never retained.
+func TestResponseCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewResponseCache(CacheConfig{MaxBytes: 100}, reg)
+	body := bytes.Repeat([]byte("x"), 40)
+
+	c.Put("a", body)
+	c.Put("b", body)
+	if _, ok := c.Get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("resident entry missed")
+	}
+	c.Put("c", body) // 120 bytes > 100: evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("least recently used entry survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("fresh insert evicted")
+	}
+	if got := reg.Snapshot().Counters[obs.SuggestCacheEvictions]; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+
+	c.Put("big", bytes.Repeat([]byte("y"), 200))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("body larger than the tier was retained")
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("resident entries = %d, want 2", got)
+	}
+}
+
+// TestSuggestKeyCanonicalization pins the cache key: the model
+// fingerprint is part of it (so a hot swap invalidates everything), the
+// empty op spelling folds into "+", and the length-prefixed field
+// encoding keeps adjacent fields from colliding by boundary shifting.
+func TestSuggestKeyCanonicalization(t *testing.T) {
+	kA := suggestKey("model-A", "s", "+", "l", "o", 42)
+	kB := suggestKey("model-B", "s", "+", "l", "o", 42)
+	if kA == kB {
+		t.Fatal("fingerprint does not partition the key space")
+	}
+	if suggestKey("f", "s", "", "l", "o", 1) != suggestKey("f", "s", "+", "l", "o", 1) {
+		t.Fatal(`op "" and op "+" describe the same edit but key differently`)
+	}
+	if suggestKey("f", "s", "+", "ab", "c", 1) == suggestKey("f", "s", "+", "a", "bc", 1) {
+		t.Fatal("field boundary shift collides")
+	}
+	if suggestKey("f", "s", "+", "l", "o", 1) == suggestKey("f", "s", "+", "l", "o", 2) {
+		t.Fatal("timestamp ignored by the key")
+	}
+
+	// The invalidation story end to end: an entry cached under the old
+	// model's key is unreachable under the new model's.
+	c := NewResponseCache(CacheConfig{MaxBytes: 1 << 10}, nil)
+	c.Put(kA, []byte("old model advice"))
+	if _, ok := c.Get(kB); ok {
+		t.Fatal("new fingerprint reached an old model's entry")
+	}
+}
+
+// TestResponseCacheDiskTier pins the disk tier: Put writes through, a
+// cache that lost its memory tier (restart) serves the miss from disk
+// and promotes it back into memory.
+func TestResponseCacheDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	c := NewResponseCache(CacheConfig{MaxBytes: 1 << 10, Dir: dir}, reg)
+	c.Put("k", []byte("body"))
+	if _, err := os.Stat(c.diskPath("k")); err != nil {
+		t.Fatalf("write-through missing: %v", err)
+	}
+
+	restarted := NewResponseCache(CacheConfig{MaxBytes: 1 << 10, Dir: dir}, reg)
+	body, ok := restarted.Get("k")
+	if !ok || string(body) != "body" {
+		t.Fatalf("disk tier miss: %q %v", body, ok)
+	}
+	if got := reg.Snapshot().Counters[obs.SuggestCacheDiskHits]; got != 1 {
+		t.Fatalf("disk hits = %d, want 1", got)
+	}
+	if restarted.Len() != 1 {
+		t.Fatal("disk hit not promoted into the memory tier")
+	}
+	if _, ok := restarted.Get("k"); !ok {
+		t.Fatal("promoted entry missed")
+	}
+}
+
+// TestResponseCacheDiskPrune checks the disk tier's byte cap: pruning
+// keeps the directory at or under MaxDiskBytes.
+func TestResponseCacheDiskPrune(t *testing.T) {
+	dir := t.TempDir()
+	c := NewResponseCache(CacheConfig{MaxBytes: 1 << 10, Dir: dir, MaxDiskBytes: 100}, nil)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte("x"), 40))
+	}
+	var total int64
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		fi, err := de.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	if total > 100 {
+		t.Fatalf("disk tier holds %d bytes, cap 100", total)
+	}
+}
+
+// TestResponseCacheNilSafe pins the off switch: MaxBytes <= 0 yields a
+// nil cache, and every method on it is a safe always-miss no-op.
+func TestResponseCacheNilSafe(t *testing.T) {
+	if NewResponseCache(CacheConfig{}, nil) != nil {
+		t.Fatal("MaxBytes 0 should disable the cache")
+	}
+	var c *ResponseCache
+	c.Put("k", []byte("x"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache reports entries")
+	}
+}

@@ -6,14 +6,21 @@
 package plugin
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"log/slog"
+	"math"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"wiclean/internal/action"
@@ -73,28 +80,25 @@ type AdviceInfo struct {
 	Missing   []string `json:"suggested"`
 }
 
-// Server serves a mined WiClean system over HTTP.
-type Server struct {
-	sys       *core.System
-	reg       *taxonomy.Registry
-	assistant *assist.Assistant
-	reports   []*detect.Report
-	obs       *obs.Registry // the system's registry (possibly nil)
-	tracer    *trace.Tracer // per-request traces (possibly nil)
-	log       *slog.Logger  // access/slow/panic logs (possibly nil)
-	slowAfter time.Duration // slow-request log threshold; <=0 disables
-	worker    http.Handler  // distributed-mining endpoint (possibly nil)
-	start     time.Time
-	debug     bool
+// serveState is the swappable serving core: everything a request handler
+// derives from one mined model. Handlers load the state pointer exactly
+// once at entry, so a hot reload (see Swap) flips new requests onto the
+// new model while in-flight requests finish coherently on the state they
+// started with — no locks on the request path, no dropped requests.
+type serveState struct {
+	sys         *core.System
+	reg         *taxonomy.Registry
+	assistant   *assist.Assistant
+	reports     []*detect.Report
+	fingerprint string // model provenance hash; keys the response cache
 }
 
-// NewServer wraps a system whose Mine stage has already run; it eagerly
-// computes the error reports and the assistant. The server reuses the
-// system's metrics registry (see core.System.WithObs) for its HTTP
-// metrics and the /metrics endpoint.
-func NewServer(sys *core.System, workers int) (*Server, error) {
+// buildState eagerly computes the error reports and the assistant for a
+// mined (or warm-started) system — the expensive part of both NewServer
+// and Swap, done before any request can observe the state.
+func buildState(sys *core.System, workers int, fingerprint string) (*serveState, error) {
 	if sys.Outcome() == nil {
-		return nil, fmt.Errorf("plugin: NewServer requires a mined system")
+		return nil, fmt.Errorf("plugin: serving requires a mined system")
 	}
 	reports, err := sys.DetectErrors(workers)
 	if err != nil {
@@ -104,14 +108,85 @@ func NewServer(sys *core.System, workers int) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		sys:       sys,
-		reg:       sys.Registry(),
-		assistant: assistant,
-		reports:   reports,
-		obs:       sys.Obs(),
-		start:     time.Now(),
+	return &serveState{
+		sys:         sys,
+		reg:         sys.Registry(),
+		assistant:   assistant,
+		reports:     reports,
+		fingerprint: fingerprint,
 	}, nil
+}
+
+// Server serves a mined WiClean system over HTTP.
+type Server struct {
+	state     atomic.Pointer[serveState]
+	workers   int           // detection parallelism for state rebuilds
+	obs       *obs.Registry // the system's registry (possibly nil)
+	tracer    *trace.Tracer // per-request traces (possibly nil)
+	log       *slog.Logger  // access/slow/panic logs (possibly nil)
+	slowAfter time.Duration // slow-request log threshold; <=0 disables
+	worker    http.Handler  // distributed-mining endpoint (possibly nil)
+	start     time.Time
+	debug     bool
+
+	// The high-QPS serving layer in front of /suggest, all optional:
+	// admission (limiter + accept queue), the layered response cache,
+	// and singleflight coalescing of identical in-flight computations.
+	limiter *Limiter
+	queue   *AcceptQueue
+	cache   *ResponseCache
+	flights *flightGroup
+}
+
+// NewServer wraps a system whose Mine stage has already run; it eagerly
+// computes the error reports and the assistant. The server reuses the
+// system's metrics registry (see core.System.WithObs) for its HTTP
+// metrics and the /metrics endpoint.
+func NewServer(sys *core.System, workers int) (*Server, error) {
+	st, err := buildState(sys, workers, "")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		workers: workers,
+		obs:     sys.Obs(),
+		start:   time.Now(),
+		flights: newFlightGroup(sys.Obs()),
+	}
+	s.state.Store(st)
+	return s, nil
+}
+
+// WithFingerprint stamps the serving model's provenance hash onto the
+// current state — the cache-key prefix that invalidates every cached
+// response when a different model is swapped in. Call before serving.
+func (s *Server) WithFingerprint(fp string) *Server {
+	st := *s.state.Load()
+	st.fingerprint = fp
+	s.state.Store(&st)
+	return s
+}
+
+// WithLimiter installs per-client token-bucket admission on /suggest;
+// nil (the default) admits everything.
+func (s *Server) WithLimiter(l *Limiter) *Server {
+	s.limiter = l
+	return s
+}
+
+// WithQueue bounds concurrently admitted /suggest computations; requests
+// beyond the bound are shed with 429/Retry-After. Nil (the default) is
+// unbounded.
+func (s *Server) WithQueue(q *AcceptQueue) *Server {
+	s.queue = q
+	return s
+}
+
+// WithCache installs the layered response cache on /suggest; nil (the
+// default) recomputes every request.
+func (s *Server) WithCache(c *ResponseCache) *Server {
+	s.cache = c
+	return s
 }
 
 // EnableDebug mounts the debug surface — /debug/vars (expvar, including
@@ -177,9 +252,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /suggest", s.handleSuggest)
 	// /history serves this instance's revision store in the JSONL dump
 	// format, making the server a backend other miners can point
-	// "-source http -source-url .../history" at (see source.HTTP).
-	mux.Handle("GET /history", source.HistoryHandler(s.sys.Store(),
-		func() action.Window { return s.sys.Outcome().Span }))
+	// "-source http -source-url .../history" at (see source.HTTP). The
+	// store is shared across model swaps (Swap documents this), so it is
+	// resolved at mount time; the span follows the current state.
+	mux.Handle("GET /history", source.HistoryHandler(s.state.Load().sys.Store(),
+		func() action.Window { return s.state.Load().sys.Outcome().Span }))
 	if s.worker != nil {
 		mux.Handle("POST /mine", s.worker)
 	}
@@ -218,10 +295,22 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// httpRetryable is httpError plus a Retry-After hint — the one helper
+// behind every "come back later" answer (the warming gate's 503 and the
+// serving layer's shed 429), so well-behaved clients always know how
+// long to back off instead of hammering.
+func httpRetryable(w http.ResponseWriter, code, retryAfterSec int, format string, args ...any) {
+	if retryAfterSec < 1 {
+		retryAfterSec = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	httpError(w, code, format, args...)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{
 		"ok":             true,
-		"patterns":       len(s.sys.Outcome().Discovered),
+		"patterns":       len(s.state.Load().sys.Outcome().Discovered),
 		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
 }
@@ -232,10 +321,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // handler always says 200; the 503 phase of the readiness story lives in
 // Gate, which fronts the listener until this server exists.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	st := s.state.Load()
 	writeJSON(w, map[string]any{
 		"ready":    true,
-		"patterns": len(s.sys.Outcome().Discovered),
-		"reports":  len(s.reports),
+		"patterns": len(st.sys.Outcome().Discovered),
+		"reports":  len(st.reports),
 	})
 }
 
@@ -266,7 +356,7 @@ func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handlePatterns(w http.ResponseWriter, _ *http.Request) {
-	o := s.sys.Outcome()
+	o := s.state.Load().sys.Outcome()
 	out := make([]PatternInfo, 0, len(o.Discovered))
 	for i, d := range o.Discovered {
 		out = append(out, PatternInfo{
@@ -284,8 +374,9 @@ func (s *Server) handlePatterns(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleErrors(w http.ResponseWriter, _ *http.Request) {
+	st := s.state.Load()
 	out := make([]ErrorInfo, 0, 64)
-	for _, rep := range s.reports {
+	for _, rep := range st.reports {
 		if rep == nil {
 			continue
 		}
@@ -294,11 +385,11 @@ func (s *Server) handleErrors(w http.ResponseWriter, _ *http.Request) {
 				Pattern:     rep.Pattern.String(),
 				WindowStart: int64(rep.Window.Start),
 				WindowEnd:   int64(rep.Window.End),
-				Subject:     s.reg.Name(pe.Subject()),
+				Subject:     st.reg.Name(pe.Subject()),
 				FullCount:   rep.FullCount,
 			}
 			for _, sg := range pe.Suggestions {
-				e.Suggestions = append(e.Suggestions, sg.Format(s.reg))
+				e.Suggestions = append(e.Suggestions, sg.Format(st.reg))
 			}
 			out = append(out, e)
 		}
@@ -307,7 +398,7 @@ func (s *Server) handleErrors(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handlePeriodic(w http.ResponseWriter, _ *http.Request) {
-	ps, err := s.sys.PeriodicPatterns(0.35)
+	ps, err := s.state.Load().sys.PeriodicPatterns(0.35)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "periodic: %v", err)
 		return
@@ -324,10 +415,79 @@ func (s *Server) handlePeriodic(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, out)
 }
 
-func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
-	var req SuggestRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+// maxSuggestBody bounds the /suggest request body. The request is five
+// short fields; a megabyte is already generous, and the bound is what
+// keeps an oversized (or hostile) body from consuming unbounded memory.
+const maxSuggestBody = 1 << 20
+
+// clientKey identifies the requesting client for per-client rate
+// limiting: the remote host without the ephemeral port, so sequential
+// connections from one editor share a bucket.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// shed answers an over-limit request: 429 with a Retry-After hint and
+// the wiclean_http_shed_total counter (reason ∈ {"rate", "queue"}).
+func (s *Server) shed(w http.ResponseWriter, reason string, retryAfter time.Duration) {
+	s.obs.Counter(obs.Labeled(obs.HTTPShed, "reason", reason)).Inc()
+	sec := int(math.Ceil(retryAfter.Seconds()))
+	httpRetryable(w, http.StatusTooManyRequests, sec,
+		"over capacity (%s); retry after the hinted delay", reason)
+}
+
+// decodeSuggest reads one JSON SuggestRequest off a size-bounded body.
+// Oversized bodies answer 413, malformed JSON and trailing garbage after
+// the value answer 400; ok reports whether a response was already
+// written.
+func decodeSuggest(w http.ResponseWriter, r *http.Request) (req SuggestRequest, ok bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSuggestBody)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", maxSuggestBody)
+			return req, false
+		}
 		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return req, false
+	}
+	// Reject trailing garbage after the JSON value: "{}{...}" or "{} x"
+	// used to be silently accepted, masking malformed clients.
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, "trailing data after JSON request body")
+		return req, false
+	}
+	return req, true
+}
+
+// handleSuggest is the hardened high-QPS serving path, stage by stage:
+// per-client limiter → bounded accept queue → size-bounded decode and
+// validation → layered response cache → singleflight coalescing →
+// assistant compute. Cached and computed responses are byte-identical
+// (both are the serialized advice list), and every cache key embeds the
+// serving model's fingerprint, so a hot swap atomically invalidates.
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	if s.limiter != nil {
+		if ok, wait := s.limiter.Allow(clientKey(r)); !ok {
+			s.shed(w, "rate", wait)
+			return
+		}
+	}
+	if !s.queue.Acquire() {
+		s.shed(w, "queue", time.Second)
+		return
+	}
+	defer s.queue.Release()
+
+	st := s.state.Load()
+	req, ok := decodeSuggest(w, r)
+	if !ok {
 		return
 	}
 	// Validate the operation up front: only "+" (or the empty default) and
@@ -343,14 +503,23 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid op %q: want \"+\", \"-\" or empty", req.Op)
 		return
 	}
-	src, ok := s.reg.Lookup(req.Subject)
+	src, ok := st.reg.Lookup(req.Subject)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown subject %q", req.Subject)
 		return
 	}
-	dst, ok := s.reg.Lookup(req.Object)
+	dst, ok := st.reg.Lookup(req.Object)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown object %q", req.Object)
+		return
+	}
+
+	ctx, sp := trace.StartSpan(r.Context(), "plugin.suggest")
+	defer sp.End()
+	key := suggestKey(st.fingerprint, req.Subject, req.Op, req.Label, req.Object, req.At)
+	if body, hit := s.cache.Get(key); hit {
+		sp.SetAttr("result", "hit")
+		writeRawJSON(w, body)
 		return
 	}
 	edit := action.Action{
@@ -358,17 +527,52 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		Edge: action.Edge{Src: src, Label: action.Label(req.Label), Dst: dst},
 		T:    action.Time(req.At),
 	}
-	advices := s.assistant.Suggest(edit, edit.T)
+	body, shared, err := s.flights.Do(ctx, key, func() ([]byte, error) {
+		b, err := computeSuggest(st, edit)
+		if err == nil {
+			s.cache.Put(key, b)
+		}
+		return b, err
+	})
+	switch {
+	case err != nil:
+		sp.Fail(err)
+		httpError(w, http.StatusInternalServerError, "suggest: %v", err)
+	case shared:
+		sp.SetAttr("result", "coalesced")
+		writeRawJSON(w, body)
+	default:
+		sp.SetAttr("result", "computed")
+		writeRawJSON(w, body)
+	}
+}
+
+// computeSuggest runs the assistant for one validated edit and
+// serializes the advice list — exactly the bytes writeJSON would emit,
+// which is what makes cached, coalesced and computed responses
+// byte-identical.
+func computeSuggest(st *serveState, edit action.Action) ([]byte, error) {
+	advices := st.assistant.Suggest(edit, edit.T)
 	out := make([]AdviceInfo, 0, len(advices))
 	for _, a := range advices {
 		ai := AdviceInfo{Pattern: a.Pattern.String(), Frequency: a.Frequency}
 		for _, sg := range a.Done {
-			ai.Done = append(ai.Done, sg.Format(s.reg))
+			ai.Done = append(ai.Done, sg.Format(st.reg))
 		}
 		for _, sg := range a.Missing {
-			ai.Missing = append(ai.Missing, sg.Format(s.reg))
+			ai.Missing = append(ai.Missing, sg.Format(st.reg))
 		}
 		out = append(out, ai)
 	}
-	writeJSON(w, out)
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeRawJSON writes an already-serialized JSON body.
+func writeRawJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
 }

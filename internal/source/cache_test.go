@@ -227,3 +227,90 @@ func TestCacheDoesNotCacheErrors(t *testing.T) {
 		t.Fatalf("stats = %+v: a failed fetch must stay a miss", st)
 	}
 }
+
+// TestCacheAccountingUnderConcurrentLoad is the cost-accounting audit
+// regression test: a storm of concurrent fetches over a capacity that
+// holds only one of two types — so coalesced fetches, inserts and
+// evictions race constantly — must leave the books exactly balanced.
+// The invariants pinned here:
+//
+//   - every admission is counted exactly once (hits + misses +
+//     coalesced == calls), so a coalesced fetch never double-counts;
+//   - a coalesced fetch never double-inserts: with an error-free
+//     backend, misses − residents == evictions, i.e. every insert is
+//     accounted to exactly one miss and every removal to one eviction;
+//   - the resident size equals the sum of resident entry costs, stays
+//     within capacity, and matches the size gauge;
+//   - the cache's own stats and the obs counters tell the same story.
+func TestCacheAccountingUnderConcurrentLoad(t *testing.T) {
+	w := newTestWorld(t)
+	backend := newCounting(NewMemory(w.hist))
+	reg := obs.NewRegistry()
+	// Capacity 8 holds one type's six actions but never both types.
+	c := NewCache(backend, 8, reg)
+	ctx := context.Background()
+
+	const goroutines = 8
+	const iters = 50
+	types := []taxonomy.Type{"FootballPlayer", "FootballClub"}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tt := types[(g+i)%len(types)]
+				as, err := c.FetchType(ctx, tt, w.span)
+				if err != nil {
+					t.Errorf("fetch %s: %v", tt, err)
+					return
+				}
+				if len(as) == 0 {
+					t.Errorf("fetch %s returned no actions", tt)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if total := st.Hits + st.Misses + st.Coalesced; total != goroutines*iters {
+		t.Fatalf("admissions %d (hits %d + misses %d + coalesced %d) != calls %d — an admission was double- or un-counted",
+			total, st.Hits, st.Misses, st.Coalesced, goroutines*iters)
+	}
+	if fetched := int64(backend.count("FootballPlayer") + backend.count("FootballClub")); fetched != st.Misses {
+		t.Fatalf("backend fetched %d times but stats count %d misses", fetched, st.Misses)
+	}
+
+	c.mu.Lock()
+	size, resident, lruLen := c.size, len(c.entries), c.lru.Len()
+	var costSum int
+	for _, el := range c.entries {
+		costSum += entryCost(el.Value.(*cacheEntry).actions)
+	}
+	c.mu.Unlock()
+	if resident != lruLen {
+		t.Fatalf("entry map holds %d types, LRU list %d — the two stores diverged", resident, lruLen)
+	}
+	if size != costSum {
+		t.Fatalf("size %d != sum of resident entry costs %d — a racing insert double-counted", size, costSum)
+	}
+	if size > 8 {
+		t.Fatalf("size %d exceeds capacity 8", size)
+	}
+	// Error-free backend: every miss inserted exactly once, so whatever
+	// is not resident anymore must have been evicted — and counted.
+	if got, want := st.Evictions, st.Misses-int64(resident); got != want {
+		t.Fatalf("evictions %d != misses %d − residents %d: eviction stats do not match actual evictions",
+			got, st.Misses, resident)
+	}
+	snap := reg.Snapshot()
+	if gauge := snap.Gauges[obs.SourceCacheActions]; gauge != float64(size) {
+		t.Fatalf("size gauge %v != size %d", gauge, size)
+	}
+	if gauge := snap.Gauges[obs.SourceCacheTypes]; gauge != float64(resident) {
+		t.Fatalf("types gauge %v != resident %d", gauge, resident)
+	}
+	assertCacheObs(t, c, reg)
+}
