@@ -1,6 +1,7 @@
 // Command wiclean-lint is the multichecker for WiClean's project
-// analyzers (internal/analysis/checks): determinism, wraperr, obsnil and
-// ctxfirst. It runs two ways:
+// analyzers. The set is whatever internal/analysis/checks registers —
+// run with -list to print it; ARCHITECTURE.md §5 documents the invariant
+// behind each one. It runs two ways:
 //
 // Standalone, over package patterns — the CI lint job and the usual local
 // invocation:

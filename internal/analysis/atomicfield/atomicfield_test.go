@@ -1,0 +1,16 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"wiclean/internal/analysis/analysistest"
+	"wiclean/internal/analysis/atomicfield"
+)
+
+// TestAtomicField drives the analyzer over the fixture package: fields
+// mixing sync/atomic and plain access (positive), atomic-only and
+// plain-only fields (negative), the typed-atomic load-once contract with
+// closure scoping and indexed receivers, and the escape-hatch cases.
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer, "a")
+}

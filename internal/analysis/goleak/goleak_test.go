@@ -1,0 +1,16 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"wiclean/internal/analysis/analysistest"
+	"wiclean/internal/analysis/goleak"
+)
+
+// TestGoLeak drives the analyzer over the fixture package: unjoined
+// closures (positive), every sanctioned join shape — WaitGroup.Done,
+// channel receive/select/range, the errgroup send-receive pairing —
+// (negative), and the reasoned/bare escape-hatch cases.
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", goleak.Analyzer, "a")
+}

@@ -1,0 +1,150 @@
+// Fixture for the goleak analyzer: every join/termination shape that
+// must pass, every fire-and-forget shape that must not, and the escape
+// hatch.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func fireAndForget() {
+	go func() {}() // want `goroutine is not joinable`
+}
+
+func busyLeak(work func()) {
+	go func() { // want `goroutine is not joinable`
+		for {
+			work()
+		}
+	}()
+}
+
+func allowedLeak() {
+	go func() {}() //wiclean:allow-goleak process-lifetime logger flusher, dies with the process
+}
+
+func allowedLeakLineAbove() {
+	//wiclean:allow-goleak process-lifetime, reasoned on the line above
+	go func() {}()
+}
+
+func bareDirective() {
+	go func() {}() //wiclean:allow-goleak // want `goroutine is not joinable` `needs a reason`
+}
+
+func joinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func doneWithoutDefer() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func stoppedByDoneChannel(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+func stoppedBySelect(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+func workerDrainsJobChannel(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+func errgroupShape(run func() error) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- run() }()
+	return <-errCh
+}
+
+func errgroupShapeSelect(run func() error) error {
+	errCh := make(chan error, 1)
+	done := make(chan struct{})
+	go func() { errCh <- run() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-done:
+		return nil
+	}
+}
+
+func sendWithNoReceiver(results chan int) {
+	go func() { // want `goroutine is not joinable`
+		results <- 1
+	}()
+}
+
+func namedCalleeNotAnalyzed(f func()) {
+	go f() // named/expression callees are out of scope
+}
+
+func nestedScopesAreIndependent(outer chan struct{}) func() {
+	// The returned closure spawns a goroutine joined by nothing inside
+	// that closure; the enclosing function's receive must not save it.
+	<-outer
+	return func() {
+		go func() { // want `goroutine is not joinable`
+			_ = 1
+		}()
+	}
+}
+
+func nestedJoinedInsideClosure() func() {
+	return func() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+		wg.Wait()
+	}
+}
+
+func feederPairedWithWorkerReceive(n int) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := range jobs {
+			_ = j
+		}
+	}()
+	// The feeder sends on jobs; the worker closure above receives from
+	// it inside the same enclosing function, so the feeder is paired.
+	go func() {
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,17 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"wiclean/internal/analysis/analysistest"
+	"wiclean/internal/analysis/lockbalance"
+)
+
+// TestLockBalance drives the analyzer over the fixture package:
+// unreleased acquires and uncovered return paths (positive), defer /
+// inline / branch-unlock shapes and closure scoping (negative),
+// RLock→Unlock kind mismatches, by-value copies of sync primitives in
+// signatures, arguments and assignments, and the escape-hatch cases.
+func TestLockBalance(t *testing.T) {
+	analysistest.Run(t, "testdata", lockbalance.Analyzer, "a")
+}

@@ -1,0 +1,420 @@
+// Package resclose flags OS-backed resources acquired but not released
+// on every path.
+//
+// The serving and resilience layers hold four kinds of handles whose
+// leak modes are all slow and production-only: an http.Response.Body
+// left open pins its connection and starves the client's pool, an
+// os.File exhausts descriptors, a time.Ticker keeps a runtime timer (and
+// the goroutine selecting on it) alive forever, and an unclosed
+// net.Listener holds its port. The analyzer tracks a variable assigned
+// from a call that yields one of those types and requires, within the
+// same function scope:
+//
+//   - a release — Close for files, listeners and response bodies
+//     (resp.Body.Close()), Stop for tickers — reachable on every return
+//     path: a defer registered before the return, or an inline release
+//     between the acquisition and the return;
+//   - or an ownership transfer: returning the value, passing it to a
+//     call, storing, sending or capturing it hands the close obligation
+//     to the receiver and exempts the variable entirely.
+//
+// Returns guarded by an error condition (`if err != nil { return err }`)
+// are skipped: on the error path the canonical stdlib contract is that
+// the resource was never acquired (http.Response being the documented
+// exception — its non-nil-Body-on-error cases are rare enough to trade
+// for not flagging every Do call site). A deliberate leak — say a
+// process-lifetime ticker — carries //wiclean:allow-resclose <reason>.
+package resclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wiclean/internal/analysis"
+)
+
+// DirectiveName is the //wiclean:allow- suffix suppressing this analyzer.
+const DirectiveName = "resclose"
+
+// Analyzer is the resource-release check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "resclose",
+	Directive: DirectiveName,
+	Doc: "an http.Response.Body, os.File, time.Ticker or net.Listener acquired in a function " +
+		"must be closed/stopped on every return path or handed off (returned, passed, stored); " +
+		"deliberate process-lifetime resources carry //wiclean:allow-resclose <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.CheckDirectives(DirectiveName)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScopes(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkScopes analyzes body and recursively every nested function
+// literal as its own resource scope.
+func checkScopes(pass *analysis.Pass, body *ast.BlockStmt) {
+	checkScope(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkScopes(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// resource is one tracked acquisition.
+type resource struct {
+	obj  types.Object
+	kind kind
+	pos  token.Pos
+	name string
+}
+
+// release is one Close/Stop call on a tracked object.
+type release struct {
+	obj      types.Object
+	pos      token.Pos
+	deferred bool
+}
+
+type kind int
+
+const (
+	kindFile kind = iota
+	kindTicker
+	kindResponse
+	kindListener
+)
+
+// releaseVerb names the required call for messages.
+func (k kind) releaseVerb() string {
+	switch k {
+	case kindTicker:
+		return "Stop()"
+	case kindResponse:
+		return "Body.Close()"
+	}
+	return "Close()"
+}
+
+// checkScope runs the acquisition/release/escape analysis on one
+// function scope.
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	var resources []resource
+	var releases []release
+	escaped := map[types.Object]bool{}
+	var exits []token.Pos
+	var errGuards [][2]token.Pos // body ranges of error-guarded ifs
+
+	var walk func(n ast.Node, deferred bool)
+	walk = func(node ast.Node, deferred bool) {
+		ast.Inspect(node, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				if obj, ok := releaseCall(pass, n.Call); ok {
+					releases = append(releases, release{obj: obj, pos: n.Pos(), deferred: true})
+					return false
+				}
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					// defer func() { f.Close() }(): runs at scope exit.
+					walk(lit.Body, true)
+					return false
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 {
+					if _, isCall := n.Rhs[0].(*ast.CallExpr); isCall {
+						for _, lhs := range n.Lhs {
+							id, ok := lhs.(*ast.Ident)
+							if !ok || id.Name == "_" {
+								continue
+							}
+							obj := identObject(pass, id)
+							if obj == nil {
+								continue
+							}
+							if k, ok := resourceKind(obj.Type()); ok {
+								resources = append(resources, resource{
+									obj: obj, kind: k, pos: n.Pos(), name: id.Name,
+								})
+							}
+						}
+					}
+				}
+				// RHS identifiers of tracked type escape (stored elsewhere).
+				for _, rhs := range n.Rhs {
+					if _, isCall := rhs.(*ast.CallExpr); !isCall {
+						markEscapes(pass, rhs, escaped)
+					}
+				}
+			case *ast.CallExpr:
+				if obj, ok := releaseCall(pass, n); ok {
+					releases = append(releases, release{obj: obj, pos: n.Pos(), deferred: deferred})
+					return true
+				}
+				// A tracked value passed as an argument is handed off.
+				for _, arg := range n.Args {
+					markEscapes(pass, arg, escaped)
+				}
+			case *ast.ReturnStmt:
+				// The exit is the statement's end, so a release that is
+				// part of the return expression itself covers it.
+				if !deferred {
+					exits = append(exits, n.End())
+				}
+				for _, res := range n.Results {
+					markEscapes(pass, res, escaped)
+				}
+			case *ast.SendStmt:
+				markEscapes(pass, n.Value, escaped)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					markEscapes(pass, n.X, escaped)
+				}
+			case *ast.CompositeLit:
+				markEscapes(pass, n, escaped)
+			case *ast.IfStmt:
+				if errGuarded(pass, n.Cond) {
+					errGuards = append(errGuards, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+				}
+			case *ast.FuncLit:
+				// A closure capturing the resource may close it later —
+				// ownership moved; the closure's own resources are
+				// handled by checkScopes.
+				markCaptured(pass, n, escaped)
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	if len(resources) == 0 {
+		return
+	}
+	exits = append(exits, body.End())
+
+	for _, res := range resources {
+		if escaped[res.obj] || pass.Allowed(DirectiveName, res.pos) {
+			continue
+		}
+		if !releasedAfter(releases, res.obj, res.pos) {
+			pass.Reportf(res.pos,
+				"%s is never closed in this function and never handed off: call %s.%s on every "+
+					"path (annotate //wiclean:allow-resclose <reason> for a deliberate "+
+					"process-lifetime resource)",
+				res.name, res.name, res.kind.releaseVerb())
+			continue
+		}
+		for _, exit := range exits {
+			if exit <= res.pos || inRanges(errGuards, exit) {
+				continue
+			}
+			if !coveredAt(releases, res.obj, res.pos, exit) {
+				pass.Reportf(res.pos,
+					"%s is not closed on the return path at line %d: release it before returning "+
+						"or defer %s.%s right after the error check",
+					res.name, pass.Fset.Position(exit).Line, res.name, res.kind.releaseVerb())
+				break
+			}
+		}
+	}
+}
+
+// releasedAfter reports whether any release of obj appears after pos.
+func releasedAfter(releases []release, obj types.Object, pos token.Pos) bool {
+	for _, r := range releases {
+		if r.obj == obj && r.pos > pos {
+			return true
+		}
+	}
+	return false
+}
+
+// coveredAt reports whether the exit is covered by a deferred release
+// registered before it or an inline release between acquire and exit.
+func coveredAt(releases []release, obj types.Object, acquire, exit token.Pos) bool {
+	for _, r := range releases {
+		if r.obj != obj {
+			continue
+		}
+		if r.deferred && r.pos < exit {
+			return true
+		}
+		if !r.deferred && r.pos > acquire && r.pos < exit {
+			return true
+		}
+	}
+	return false
+}
+
+// inRanges reports whether pos falls inside any [start, end] range.
+func inRanges(ranges [][2]token.Pos, pos token.Pos) bool {
+	for _, r := range ranges {
+		if pos >= r[0] && pos <= r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseCall matches f.Close(), l.Close(), t.Stop() and
+// resp.Body.Close(), returning the tracked variable's object.
+func releaseCall(pass *analysis.Pass, call *ast.CallExpr) (types.Object, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	method := sel.Sel.Name
+	if method != "Close" && method != "Stop" {
+		return nil, false
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		obj := identObject(pass, x)
+		if obj == nil {
+			return nil, false
+		}
+		if k, ok := resourceKind(obj.Type()); ok && k != kindResponse {
+			return obj, true
+		}
+	case *ast.SelectorExpr:
+		// resp.Body.Close(): the receiver chain's base must be a tracked
+		// http.Response and the field its Body.
+		base, ok := x.X.(*ast.Ident)
+		if !ok || x.Sel.Name != "Body" || method != "Close" {
+			return nil, false
+		}
+		obj := identObject(pass, base)
+		if obj == nil {
+			return nil, false
+		}
+		if k, ok := resourceKind(obj.Type()); ok && k == kindResponse {
+			return obj, true
+		}
+	}
+	return nil, false
+}
+
+// markEscapes records tracked identifiers appearing as values in the
+// expression as escaped. Selecting a field or method off the resource
+// (resp.StatusCode, f.Name()) is a use, not a hand-off, so those
+// subtrees are skipped unless the selected value is itself tracked.
+func markEscapes(pass *analysis.Pass, e ast.Node, escaped map[types.Object]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			markIfTracked(pass, n, escaped)
+		case *ast.SelectorExpr:
+			if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Type != nil {
+				if _, tracked := resourceKind(tv.Type); tracked {
+					return true
+				}
+			}
+			return false
+		case *ast.FuncLit:
+			markCaptured(pass, n, escaped)
+			return false
+		}
+		return true
+	})
+}
+
+// markCaptured records every tracked identifier anywhere in a closure
+// body as escaped — the closure may release it at an arbitrary later
+// time, so ownership has moved even when the use is a method call.
+func markCaptured(pass *analysis.Pass, e ast.Node, escaped map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			markIfTracked(pass, id, escaped)
+		}
+		return true
+	})
+}
+
+// markIfTracked marks the identifier's object when its type is one of
+// the tracked resources.
+func markIfTracked(pass *analysis.Pass, id *ast.Ident, escaped map[types.Object]bool) {
+	obj := identObject(pass, id)
+	if obj == nil {
+		return
+	}
+	if _, tracked := resourceKind(obj.Type()); tracked {
+		escaped[obj] = true
+	}
+}
+
+// errGuarded reports whether the condition mentions an error-typed
+// value — the `if err != nil` family.
+func errGuarded(pass *analysis.Pass, cond ast.Expr) bool {
+	errType := types.Universe.Lookup("error").Type()
+	guarded := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || guarded {
+			return !guarded
+		}
+		if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+			if types.Identical(tv.Type, errType) {
+				guarded = true
+			}
+		}
+		return !guarded
+	})
+	return guarded
+}
+
+// identObject resolves an identifier to its variable object, whether
+// this use defines it or not.
+func identObject(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// resourceKind classifies a type as one of the tracked resources.
+func resourceKind(t types.Type) (kind, bool) {
+	if t == nil {
+		return 0, false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return 0, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return 0, false
+	}
+	switch {
+	case obj.Pkg().Path() == "os" && obj.Name() == "File":
+		return kindFile, true
+	case obj.Pkg().Path() == "time" && obj.Name() == "Ticker":
+		return kindTicker, true
+	case obj.Pkg().Path() == "net/http" && obj.Name() == "Response":
+		return kindResponse, true
+	case obj.Pkg().Path() == "net" && obj.Name() == "Listener":
+		return kindListener, true
+	case obj.Pkg().Path() == "net" && obj.Name() == "TCPListener":
+		return kindListener, true
+	case obj.Pkg().Path() == "net" && obj.Name() == "UnixListener":
+		return kindListener, true
+	}
+	return 0, false
+}

@@ -1,0 +1,17 @@
+package resclose_test
+
+import (
+	"testing"
+
+	"wiclean/internal/analysis/analysistest"
+	"wiclean/internal/analysis/resclose"
+)
+
+// TestResClose drives the analyzer over the fixture package: leaked
+// files, tickers, response bodies and listeners (positive), deferred and
+// inline releases, every hand-off shape — return, call argument, struct
+// field, closure capture — (negative), error-guarded early returns, and
+// the escape-hatch cases.
+func TestResClose(t *testing.T) {
+	analysistest.Run(t, "testdata", resclose.Analyzer, "a")
+}

@@ -1,0 +1,15 @@
+package coord_test
+
+import (
+	"testing"
+
+	"wiclean/internal/analysis/leakcheck"
+)
+
+// TestMain guards the package with the goroutine-leak detector: the
+// pool's dispatch and quarantine goroutines must all be joined by
+// Close/drain before any test returns, or the package fails with the
+// leaked stacks.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

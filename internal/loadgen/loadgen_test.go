@@ -1,0 +1,189 @@
+package loadgen_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wiclean/internal/loadgen"
+)
+
+// suggestServer answers /suggest with the given status, attaching a
+// Retry-After hint to shed responses when hinted is set.
+func suggestServer(t *testing.T, status int, hinted bool) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		if status == http.StatusTooManyRequests && hinted {
+			w.Header().Set("Retry-After", "1")
+		}
+		w.WriteHeader(status)
+		_, _ = w.Write([]byte(`{"suggestions":[]}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRunClosedLoop drives a short closed-loop run against a healthy
+// server and checks the accounting identity Sent == OK + Shed + CutOff
+// + OtherErrors plus the latency fields.
+func TestRunClosedLoop(t *testing.T) {
+	srv := suggestServer(t, http.StatusOK, false)
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		URL:         srv.URL,
+		Bodies:      []string{`{"page":"a"}`, `{"page":"b"}`},
+		Concurrency: 4,
+		Duration:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Mode != "closed" {
+		t.Errorf("Mode = %q, want \"closed\"", res.Mode)
+	}
+	if res.OK == 0 {
+		t.Fatalf("closed loop completed no requests: %+v", res)
+	}
+	if got := res.OK + res.Shed + res.CutOff + res.OtherErrors; got != res.Sent {
+		t.Errorf("outcome columns sum to %d, want Sent = %d (%+v)", got, res.Sent, res)
+	}
+	if res.P50Millis <= 0 || res.MaxMillis < res.P99Millis || res.P99Millis < res.P50Millis {
+		t.Errorf("latency quantiles inconsistent: p50=%v p90=%v p99=%v max=%v",
+			res.P50Millis, res.P90Millis, res.P99Millis, res.MaxMillis)
+	}
+	if res.OKPerSec <= 0 {
+		t.Errorf("OKPerSec = %v, want positive", res.OKPerSec)
+	}
+}
+
+// TestRunOpenLoopShedAccounting drives an open-loop run against a server
+// that sheds everything with a Retry-After hint and checks the shed
+// columns and rate.
+func TestRunOpenLoopShedAccounting(t *testing.T) {
+	srv := suggestServer(t, http.StatusTooManyRequests, true)
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		URL:         srv.URL,
+		Bodies:      []string{`{"page":"a"}`},
+		Concurrency: 8,
+		QPS:         200,
+		Duration:    250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Mode != "open" {
+		t.Errorf("Mode = %q, want \"open\"", res.Mode)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("shedding server produced no 429 counts: %+v", res)
+	}
+	if res.ShedHinted != res.Shed {
+		t.Errorf("ShedHinted = %d, want every shed hinted (%d)", res.ShedHinted, res.Shed)
+	}
+	if res.OK != 0 {
+		t.Errorf("OK = %d, want 0 from an all-shedding server", res.OK)
+	}
+	if res.ShedRate != 1 {
+		t.Errorf("ShedRate = %v, want 1 when everything sheds", res.ShedRate)
+	}
+}
+
+// TestRunValidation checks the required-field errors.
+func TestRunValidation(t *testing.T) {
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{}); err == nil {
+		t.Errorf("Run with empty config did not error")
+	}
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{URL: "http://x"}); err == nil {
+		t.Errorf("Run with no bodies did not error")
+	}
+}
+
+// TestRunBodyRoundRobin asserts the request mix cycles through Bodies.
+func TestRunBodyRoundRobin(t *testing.T) {
+	var aSeen, bSeen atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		switch string(b) {
+		case `{"page":"a"}`:
+			aSeen.Add(1)
+		case `{"page":"b"}`:
+			bSeen.Add(1)
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(srv.Close)
+	_, err := loadgen.Run(context.Background(), loadgen.Config{
+		URL:         srv.URL,
+		Bodies:      []string{`{"page":"a"}`, `{"page":"b"}`},
+		Concurrency: 1,
+		Duration:    150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if aSeen.Load() == 0 || bSeen.Load() == 0 {
+		t.Errorf("round-robin mix incomplete: a=%d b=%d", aSeen.Load(), bSeen.Load())
+	}
+}
+
+// TestScrapeAndHelpers covers the Prometheus text parser, exemplar
+// stripping, SumPrefix folding, and Delta subtraction.
+func TestScrapeAndHelpers(t *testing.T) {
+	const exposition = `# HELP wiclean_http_shed_total requests shed
+# TYPE wiclean_http_shed_total counter
+wiclean_http_shed_total{reason="limiter"} 3
+wiclean_http_shed_total{reason="queue"} 4
+wiclean_http_requests_total 10
+wiclean_http_request_seconds_bucket{le="0.1"} 7 # {trace_id="abc"} 0.042
+`
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = w.Write([]byte(exposition))
+	}))
+	t.Cleanup(srv.Close)
+
+	samples, err := loadgen.Scrape(context.Background(), srv.URL, nil)
+	if err != nil {
+		t.Fatalf("Scrape: %v", err)
+	}
+	if got := samples[`wiclean_http_shed_total{reason="limiter"}`]; got != 3 {
+		t.Errorf("labeled sample = %v, want 3", got)
+	}
+	if got := samples[`wiclean_http_request_seconds_bucket{le="0.1"}`]; got != 7 {
+		t.Errorf("exemplar-trailing sample = %v, want 7", got)
+	}
+	if got := loadgen.SumPrefix(samples, "wiclean_http_shed_total"); got != 7 {
+		t.Errorf("SumPrefix = %v, want 7", got)
+	}
+
+	before := map[string]float64{"a": 1, "b": 5}
+	after := map[string]float64{"a": 4, "c": 2}
+	d := loadgen.Delta(before, after)
+	if d["a"] != 3 || d["c"] != 2 {
+		t.Errorf("Delta = %v, want a=3 c=2", d)
+	}
+	if _, ok := d["b"]; ok {
+		t.Errorf("Delta carried a series absent from after: %v", d)
+	}
+}
+
+// TestScrapeErrorPaths covers non-200 answers and unreachable servers.
+func TestScrapeErrorPaths(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+	if _, err := loadgen.Scrape(context.Background(), srv.URL, nil); err == nil {
+		t.Errorf("Scrape of a 500 endpoint did not error")
+	}
+	if _, err := loadgen.Scrape(context.Background(), "http://127.0.0.1:1", &http.Client{Timeout: 200 * time.Millisecond}); err == nil {
+		t.Errorf("Scrape of an unreachable address did not error")
+	}
+}

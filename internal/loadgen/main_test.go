@@ -1,0 +1,14 @@
+package loadgen_test
+
+import (
+	"testing"
+
+	"wiclean/internal/analysis/leakcheck"
+)
+
+// TestMain guards the package with the goroutine-leak detector: closed-
+// and open-loop workers and the pacer's ticker must all be joined when
+// Run returns, or the package fails with the leaked stacks.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

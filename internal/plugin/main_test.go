@@ -1,0 +1,24 @@
+package plugin
+
+import (
+	"testing"
+
+	"wiclean/internal/analysis/leakcheck"
+)
+
+// TestMain guards the package with the goroutine-leak detector. The
+// serving layer's reload loop, coalesced flights, and queue waiters
+// must all exit with their tests. The two package-level cached servers
+// (cachedTS, opsTS) are deliberately shared across tests and closed
+// here, between the run and the diff; the signal-watcher goroutine that
+// signal.Notify installs process-wide is in leakcheck's benign list.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m, leakcheck.Cleanup(func() {
+		if cachedTS != nil {
+			cachedTS.Close()
+		}
+		if opsTS != nil {
+			opsTS.Close()
+		}
+	}))
+}

@@ -1,0 +1,15 @@
+package source_test
+
+import (
+	"testing"
+
+	"wiclean/internal/analysis/leakcheck"
+)
+
+// TestMain guards the package with the goroutine-leak detector:
+// httptest servers and fault-injection middlewares spun up by these
+// tests must tear their connection goroutines down before the package
+// exits (the settle loop absorbs the asynchronous part of Close).
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}
